@@ -1,0 +1,103 @@
+package batchals
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeQuickPath(t *testing.T) {
+	golden, err := Benchmark("mul4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Approximate(golden, Options{
+		Metric:      ErrorRate,
+		Threshold:   0.03,
+		NumPatterns: 1500,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 0.03+1e-9 {
+		t.Fatalf("error %v over budget", res.FinalError)
+	}
+	if res.FinalArea > res.OriginalArea {
+		t.Fatal("area grew")
+	}
+	rep := MeasureError(golden, res.Approx, 4000, 99)
+	if rep.ErrorRate > 0.06 {
+		t.Fatalf("independent measurement %v too high", rep.ErrorRate)
+	}
+	exact := MeasureErrorExact(golden, res.Approx)
+	if exact.ErrorRate > 0.06 {
+		t.Fatalf("exact %v too high", exact.ErrorRate)
+	}
+}
+
+func TestFacadeBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) == 0 {
+		t.Fatal("no benchmarks")
+	}
+	if _, err := Benchmark("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeAreaDelay(t *testing.T) {
+	n, _ := Benchmark("rca8")
+	if Area(n) <= 0 || Delay(n) <= 0 {
+		t.Fatal("area/delay not positive")
+	}
+}
+
+func TestFacadeSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n, _ := Benchmark("cmp8")
+	for _, ext := range []string{".bench", ".blif"} {
+		path := filepath.Join(dir, "cmp8"+ext)
+		if err := Save(path, n); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		back, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		if rep := MeasureErrorExact(n, back); rep.ErrorRate != 0 {
+			t.Fatalf("%s: round trip changed behaviour", ext)
+		}
+	}
+}
+
+func TestFacadeUnknownFormat(t *testing.T) {
+	n, _ := Benchmark("rca8")
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, ".v", n); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := Read(&buf, ".v", "x"); err == nil {
+		t.Fatal("unknown format accepted on read")
+	}
+}
+
+func TestFacadeAEM(t *testing.T) {
+	golden, _ := Benchmark("mul4")
+	res, err := Approximate(golden, Options{
+		Metric:      AvgErrorMagnitude,
+		Threshold:   3,
+		NumPatterns: 1500,
+		Seed:        2,
+		KeepTrace:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 3+1e-9 {
+		t.Fatalf("AEM %v over budget", res.FinalError)
+	}
+	if len(res.Iterations) != res.NumIterations {
+		t.Fatal("trace length mismatch")
+	}
+}

@@ -1,0 +1,209 @@
+package batchals
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (plus the §4.4 complexity claim). Each benchmark drives the same
+// internal/repro harness that cmd/repro uses, at smoke scale so that
+// `go test -bench=.` completes in minutes; raise -m via cmd/repro for
+// paper-scale runs. The benchmarks report the headline quantity of their
+// experiment as a custom metric, so the comparison the paper makes is
+// visible straight from the bench output.
+
+import (
+	"testing"
+
+	"batchals/internal/repro"
+)
+
+// benchOpt keeps every experiment at smoke scale inside the bench harness.
+var benchOpt = repro.Options{M: 400, Seed: 1, Fast: true}
+
+// BenchmarkFig1MotivatingC7552 regenerates the motivating example (Fig. 1):
+// SASIMI with accurate (batch) vs without (local) error estimation under a
+// 1% ER budget. Reported metric: extra area reduction of the accurate flow
+// in percentage points.
+func BenchmarkFig1MotivatingC7552(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := repro.Fig1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, bas := 0.0, 0.0
+		if len(d.Accurate) > 0 {
+			acc = d.Accurate[len(d.Accurate)-1].AreaReduction
+		}
+		if len(d.Baseline) > 0 {
+			bas = d.Baseline[len(d.Baseline)-1].AreaReduction
+		}
+		b.ReportMetric((acc-bas)*100, "extra_red_%")
+	}
+}
+
+// BenchmarkTable1MCAccuracy regenerates the Monte Carlo accuracy check
+// (Table 1): simulated vs exact ER/AEM on alu4, MUL8 and WTM8. Reported
+// metric: mean relative deviation of MC from exact, in percent.
+func BenchmarkTable1MCAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.Table1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rel float64
+		var cnt int
+		for _, r := range rows {
+			if r.Exact > 0 {
+				d := (r.Simulated - r.Exact) / r.Exact
+				if d < 0 {
+					d = -d
+				}
+				rel += d
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			b.ReportMetric(rel/float64(cnt)*100, "mean_rel_dev_%")
+		}
+	}
+}
+
+// BenchmarkFig3EstimatorTracking regenerates the EER-vs-SER trajectories
+// (Fig. 3). Reported metric: worst |EER-SER| gap across all iterations of
+// all benchmarks, in ER percentage points.
+func BenchmarkFig3EstimatorTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := repro.Fig3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, s := range series {
+			for _, p := range s.Points {
+				d := p.EER - p.SER
+				if d < 0 {
+					d = -d
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		b.ReportMetric(worst*100, "worst_gap_%")
+	}
+}
+
+// BenchmarkTable2FullSim runs the Table 2 flow with the accurate
+// full-simulation estimator (the expensive baseline).
+func BenchmarkTable2FullSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.Table2(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].SpeedUp, "batch_speedup_x")
+	}
+}
+
+// BenchmarkTable2Batch isolates the batch-estimation flow of Table 2 on
+// the same circuit set, without the full-simulation baseline, so the two
+// benchmarks' ns/op can be compared directly.
+func BenchmarkTable2Batch(b *testing.B) {
+	golden, err := Benchmark("rca32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Approximate(golden, Options{
+			Metric:      ErrorRate,
+			Threshold:   0.01,
+			Estimator:   Batch,
+			NumPatterns: benchOpt.M,
+			Seed:        benchOpt.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AreaRatio(), "area_ratio")
+	}
+}
+
+// BenchmarkFig4ERSweep regenerates the ER-threshold sweep (Fig. 4).
+// Reported metric: mean area ratio across all circuits and thresholds.
+func BenchmarkFig4ERSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := repro.Fig4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, cnt := 0.0, 0
+		for _, s := range series {
+			for _, p := range s.Points {
+				sum += p.AreaRatio
+				cnt++
+			}
+		}
+		b.ReportMetric(sum/float64(cnt), "mean_area_ratio")
+	}
+}
+
+// BenchmarkTable3ERQuality regenerates the ER-quality comparison
+// (Table 3). Reported metric: mean area-ratio advantage of the batch
+// estimator over the local estimator (positive = batch better).
+func BenchmarkTable3ERQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := 0.0
+		for _, r := range rows {
+			adv += r.LocalRatio - r.BatchRatio
+		}
+		b.ReportMetric(adv/float64(len(rows)), "batch_advantage")
+	}
+}
+
+// BenchmarkFig5AEMSweep regenerates the AEM-rate sweep (Fig. 5).
+func BenchmarkFig5AEMSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := repro.Fig5(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, cnt := 0.0, 0
+		for _, s := range series {
+			for _, p := range s.Points {
+				sum += p.AreaRatio
+				cnt++
+			}
+		}
+		b.ReportMetric(sum/float64(cnt), "mean_area_ratio")
+	}
+}
+
+// BenchmarkTable4AEMQuality regenerates the AEM-quality comparison
+// (Table 4). Reported metric: mean batch-over-local advantage.
+func BenchmarkTable4AEMQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.Table4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := 0.0
+		for _, r := range rows {
+			adv += r.LocalRatio - r.BatchRatio
+		}
+		b.ReportMetric(adv/float64(len(rows)), "batch_advantage")
+	}
+}
+
+// BenchmarkComplexityScaling regenerates the §4.4 batch-vs-full scaling
+// measurement. Reported metric: speed-up at the largest circuit size.
+func BenchmarkComplexityScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.Complexity(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].SpeedUp, "speedup_x")
+	}
+}

@@ -1,0 +1,189 @@
+// Command alsrun runs an approximate logic synthesis flow on a benchmark or
+// circuit file under an error constraint and reports the result.
+//
+// Usage:
+//
+//	alsrun -circuit mul8 -metric er -threshold 0.01
+//	alsrun -circuit path/to/c880.bench -metric aem -threshold 12.5 -out approx.bench
+//	alsrun -list
+//
+// The -estimator flag selects batch (the paper's method, default), full
+// (per-candidate resimulation) or local (no propagation, the prior-work
+// baseline). With -trace, every accepted substitution is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"batchals"
+	"batchals/internal/snap"
+	"batchals/internal/stoch"
+	"batchals/internal/wu"
+)
+
+func main() {
+	var (
+		circuitFlag = flag.String("circuit", "", "benchmark name or .bench/.blif file path")
+		flowFlag    = flag.String("flow", "sasimi", "ALS flow: sasimi, snap (constant-setting), wu (literal-removal) or stoch (stochastic)")
+		metricFlag  = flag.String("metric", "er", "error metric: er or aem")
+		threshold   = flag.Float64("threshold", 0.01, "error budget (ER fraction or absolute AEM)")
+		estimator   = flag.String("estimator", "batch", "estimator: batch, full or local")
+		verifyTopK  = flag.Int("verify", 0, "re-check the K best candidates per iteration exactly (0 = off)")
+		patterns    = flag.Int("m", 10000, "Monte Carlo pattern count")
+		seed        = flag.Int64("seed", 0, "random seed")
+		outFile     = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
+		trace       = flag.Bool("trace", false, "print every accepted substitution")
+		list        = flag.Bool("list", false, "list built-in benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(batchals.BenchmarkNames(), "\n"))
+		return
+	}
+	if *circuitFlag == "" {
+		fmt.Fprintln(os.Stderr, "alsrun: -circuit is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	golden, err := loadCircuit(*circuitFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := batchals.Options{
+		Threshold:   *threshold,
+		NumPatterns: *patterns,
+		Seed:        *seed,
+		KeepTrace:   *trace,
+		VerifyTopK:  *verifyTopK,
+	}
+	switch strings.ToLower(*metricFlag) {
+	case "er":
+		opts.Metric = batchals.ErrorRate
+	case "aem":
+		opts.Metric = batchals.AvgErrorMagnitude
+	default:
+		fatal(fmt.Errorf("unknown metric %q (want er or aem)", *metricFlag))
+	}
+	switch strings.ToLower(*estimator) {
+	case "batch":
+		opts.Estimator = batchals.Batch
+	case "full":
+		opts.Estimator = batchals.Full
+	case "local":
+		opts.Estimator = batchals.Local
+	default:
+		fatal(fmt.Errorf("unknown estimator %q (want batch, full or local)", *estimator))
+	}
+
+	fmt.Printf("circuit: %s (%d inputs, %d outputs, area %.0f, delay %.0f)\n",
+		golden.Name, golden.NumInputs(), golden.NumOutputs(),
+		batchals.Area(golden), batchals.Delay(golden))
+	fmt.Printf("flow: %s/%s, %s <= %g, M=%d, seed=%d\n",
+		*flowFlag, *estimator, strings.ToUpper(*metricFlag), *threshold, *patterns, *seed)
+
+	switch strings.ToLower(*flowFlag) {
+	case "sasimi":
+		runSASIMI(golden, opts, *trace, *outFile)
+	case "snap":
+		res, err := snap.Run(golden, snap.Config{
+			Metric:      opts.Metric,
+			Threshold:   opts.Threshold,
+			NumPatterns: opts.NumPatterns,
+			Seed:        opts.Seed,
+			UseBatch:    opts.Estimator == batchals.Batch,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: area %.0f -> %.0f (ratio %.3f), %d constants set, measured error %.5f\n",
+			res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
+		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
+		saveOut(*outFile, res.Approx)
+	case "wu":
+		res, err := wu.Run(golden, wu.Config{
+			Metric:      opts.Metric,
+			Threshold:   opts.Threshold,
+			NumPatterns: opts.NumPatterns,
+			Seed:        opts.Seed,
+			UseBatch:    opts.Estimator == batchals.Batch,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: area %.0f -> %.0f (ratio %.3f), %d literals removed, measured error %.5f\n",
+			res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
+		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
+		saveOut(*outFile, res.Approx)
+	case "stoch":
+		res, err := stoch.Run(golden, stoch.Config{
+			Metric:      opts.Metric,
+			Threshold:   opts.Threshold,
+			NumPatterns: opts.NumPatterns,
+			Seed:        opts.Seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: area %.0f -> %.0f (ratio %.3f), %d/%d moves accepted (%d batch-assisted), measured error %.5f\n",
+			res.OriginalArea, res.FinalArea, res.AreaRatio(), res.Accepted, res.Proposed,
+			res.BatchMoves, res.FinalError)
+		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
+		saveOut(*outFile, res.Approx)
+	default:
+		fatal(fmt.Errorf("unknown flow %q (want sasimi, snap, wu or stoch)", *flowFlag))
+	}
+}
+
+func runSASIMI(golden *batchals.Network, opts batchals.Options, trace bool, outFile string) {
+	res, err := batchals.Approximate(golden, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if trace {
+		for _, it := range res.Iterations {
+			inv := ""
+			if it.Inverted {
+				inv = " (inverted)"
+			}
+			fmt.Printf("  iter %3d: %s <- %s%s  est ΔE=%+.5f  measured=%.5f  area=%.0f\n",
+				it.Iter, it.Target, it.Sub, inv, it.EstDelta, it.ActualErr, it.Area)
+		}
+	}
+	fmt.Printf("result: area %.0f -> %.0f (ratio %.3f), %d substitutions, measured error %.5f\n",
+		res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
+	fmt.Printf("runtime: %s total (CPM %s, estimation %s)\n",
+		res.TotalTime.Round(time.Millisecond),
+		res.CPMTime.Round(time.Millisecond),
+		res.EstimateTime.Round(time.Millisecond))
+	saveOut(outFile, res.Approx)
+}
+
+func saveOut(path string, n *batchals.Network) {
+	if path == "" {
+		return
+	}
+	if err := batchals.Save(path, n); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// loadCircuit resolves a benchmark name or a file path.
+func loadCircuit(spec string) (*batchals.Network, error) {
+	if strings.ContainsAny(spec, "/.") {
+		return batchals.Load(spec)
+	}
+	return batchals.Benchmark(spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alsrun:", err)
+	os.Exit(1)
+}

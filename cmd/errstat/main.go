@@ -1,0 +1,76 @@
+// Command errstat measures the statistical error between a golden circuit
+// and an approximate version of it.
+//
+// Usage:
+//
+//	errstat -golden rca32.bench -approx rca32_approx.bench -m 100000
+//	errstat -golden mul8 -approx approx.blif -exact
+//
+// Circuits may be benchmark names or .bench/.blif files. With -exact the
+// error is computed by exhaustive enumeration (<= 26 inputs); otherwise by
+// Monte Carlo simulation with -m patterns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"batchals"
+)
+
+func main() {
+	var (
+		goldenFlag = flag.String("golden", "", "golden circuit (benchmark name or file)")
+		approxFlag = flag.String("approx", "", "approximate circuit (benchmark name or file)")
+		m          = flag.Int("m", 100000, "Monte Carlo pattern count")
+		seed       = flag.Int64("seed", 0, "random seed")
+		exact      = flag.Bool("exact", false, "exhaustive enumeration instead of Monte Carlo")
+	)
+	flag.Parse()
+	if *goldenFlag == "" || *approxFlag == "" {
+		fmt.Fprintln(os.Stderr, "errstat: -golden and -approx are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	golden, err := load(*goldenFlag)
+	if err != nil {
+		fatal(err)
+	}
+	approx, err := load(*approxFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var rep batchals.ErrorReport
+	if *exact {
+		rep = batchals.MeasureErrorExact(golden, approx)
+	} else {
+		rep = batchals.MeasureError(golden, approx, *m, *seed)
+	}
+	kind := "monte-carlo"
+	if rep.ExactMeasured {
+		kind = "exhaustive"
+	}
+	fmt.Printf("measurement: %s over %d patterns, %d outputs\n", kind, rep.NumPatterns, rep.NumOutputs)
+	fmt.Printf("error rate:            %.6f (%.4f%%)\n", rep.ErrorRate, 100*rep.ErrorRate)
+	fmt.Printf("mean hamming distance: %.6f bits/pattern\n", rep.MeanHamming)
+	fmt.Printf("avg error magnitude:   %.6f (AEM rate %.6f%%)\n", rep.AvgErrMag, 100*rep.AEMRate)
+	fmt.Printf("worst error magnitude: %.6f\n", rep.WorstErrMag)
+	fmt.Printf("area: golden %.0f, approx %.0f (ratio %.3f)\n",
+		batchals.Area(golden), batchals.Area(approx),
+		batchals.Area(approx)/batchals.Area(golden))
+}
+
+func load(spec string) (*batchals.Network, error) {
+	if strings.ContainsAny(spec, "/.") {
+		return batchals.Load(spec)
+	}
+	return batchals.Benchmark(spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "errstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command genbench emits the library's generated benchmark circuits as
+// .bench or BLIF files.
+//
+// Usage:
+//
+//	genbench -list
+//	genbench -circuit rca32 -o rca32.bench
+//	genbench -all -dir ./circuits -format blif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"batchals"
+)
+
+func main() {
+	var (
+		circuitFlag = flag.String("circuit", "", "benchmark name to emit")
+		outFile     = flag.String("o", "", "output file (extension picks format; default <name>.bench)")
+		all         = flag.Bool("all", false, "emit every registered benchmark")
+		dir         = flag.String("dir", ".", "output directory for -all")
+		format      = flag.String("format", "bench", "format for -all: bench or blif")
+		list        = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range batchals.BenchmarkNames() {
+			n, err := batchals.Benchmark(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %4d in %4d out %6.0f area %3.0f delay\n",
+				name, n.NumInputs(), n.NumOutputs(), batchals.Area(n), batchals.Delay(n))
+		}
+	case *all:
+		ext := "." + strings.TrimPrefix(*format, ".")
+		if ext != ".bench" && ext != ".blif" {
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range batchals.BenchmarkNames() {
+			n, err := batchals.Benchmark(name)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, name+ext)
+			if err := batchals.Save(path, n); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *circuitFlag != "":
+		n, err := batchals.Benchmark(*circuitFlag)
+		if err != nil {
+			fatal(err)
+		}
+		path := *outFile
+		if path == "" {
+			path = *circuitFlag + ".bench"
+		}
+		if err := batchals.Save(path, n); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

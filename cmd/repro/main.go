@@ -1,0 +1,117 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation section on this library's substrates.
+//
+// Usage:
+//
+//	repro                       # every experiment at default scale
+//	repro -exp table3 -m 10000  # one experiment at a chosen sample size
+//	repro -fast                 # smoke-test scale
+//
+// Experiments: fig1, table1, fig3, table2, fig4, table3, fig5, table4,
+// complexity, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"batchals/internal/repro"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (fig1, table1, fig3, table2, fig4, table3, fig5, table4, complexity, all)")
+		m    = flag.Int("m", 2000, "Monte Carlo pattern count per flow run")
+		seed = flag.Int64("seed", 1, "random seed")
+		fast = flag.Bool("fast", false, "smoke-test scale (smaller circuits, fewer points)")
+	)
+	flag.Parse()
+
+	opt := repro.Options{M: *m, Seed: *seed, Fast: *fast}
+	which := strings.ToLower(*exp)
+	run := func(name string, fn func() (string, error)) {
+		if which != "all" && which != name {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", func() (string, error) {
+		d, err := repro.Fig1(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderFig1(d), nil
+	})
+	run("table1", func() (string, error) {
+		rows, err := repro.Table1(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderTable1(rows), nil
+	})
+	run("fig3", func() (string, error) {
+		s, err := repro.Fig3(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderFig3(s), nil
+	})
+	run("table2", func() (string, error) {
+		rows, err := repro.Table2(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderTable2(rows), nil
+	})
+	// Fig. 4 and Table 3 share their flow runs (as do Fig. 5 and Table 4):
+	// when both are requested, compute the sweep once.
+	if which == "all" || which == "fig4" || which == "table3" {
+		start := time.Now()
+		q, err := repro.RunERQuality(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: er-quality: %v\n", err)
+			os.Exit(1)
+		}
+		// Both products come from the same flow runs; print both whenever
+		// either is requested.
+		fmt.Println(repro.RenderSweep("Fig 4: area ratio vs ER threshold (modified SASIMI)", "ER thresh", q.Series))
+		fmt.Println(repro.RenderTable3(q.Rows))
+		fmt.Printf("[fig4+table3 took %s]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if which == "all" || which == "fig5" || which == "table4" {
+		start := time.Now()
+		q, err := repro.RunAEMQuality(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: aem-quality: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(repro.RenderSweep("Fig 5: area ratio vs AEM-rate threshold (modified SASIMI)", "AEM rate", q.Series))
+		fmt.Println(repro.RenderTable4(q.Rows))
+		fmt.Printf("[fig5+table4 took %s]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	run("complexity", func() (string, error) {
+		rows, err := repro.Complexity(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderComplexity(rows), nil
+	})
+	run("flows", func() (string, error) {
+		rows, err := repro.Flows(opt)
+		if err != nil {
+			return "", err
+		}
+		return repro.RenderFlows(rows), nil
+	})
+}

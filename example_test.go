@@ -1,0 +1,33 @@
+package batchals_test
+
+import (
+	"fmt"
+
+	"batchals"
+)
+
+// Approximate an 8-bit comparator under a 1% error-rate budget and report
+// the saved area.
+func ExampleApproximate() {
+	golden, _ := batchals.Benchmark("cmp8")
+	res, _ := batchals.Approximate(golden, batchals.Options{
+		Metric:      batchals.ErrorRate,
+		Threshold:   0.01,
+		NumPatterns: 4000,
+		Seed:        1,
+	})
+	fmt.Println("error within budget:", res.FinalError <= 0.01)
+	fmt.Println("area reduced:", res.FinalArea < res.OriginalArea)
+	// Output:
+	// error within budget: true
+	// area reduced: true
+}
+
+// Measure the exact error between a golden multiplier and itself.
+func ExampleMeasureErrorExact() {
+	golden, _ := batchals.Benchmark("mul4")
+	rep := batchals.MeasureErrorExact(golden, golden.Clone())
+	fmt.Printf("ER=%.0f AEM=%.0f\n", rep.ErrorRate, rep.AvgErrMag)
+	// Output:
+	// ER=0 AEM=0
+}

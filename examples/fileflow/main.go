@@ -1,0 +1,70 @@
+// Fileflow: an end-to-end pipeline over circuit files — generate a
+// benchmark netlist to disk, read it back, approximate it with two
+// different estimators, and write both approximations out, comparing their
+// quality. Mirrors how the command-line tools compose, but entirely
+// through the library API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"batchals"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "batchals-fileflow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Emit a golden netlist, as cmd/genbench would.
+	golden, err := batchals.Benchmark("cla32")
+	if err != nil {
+		log.Fatal(err)
+	}
+	goldenPath := filepath.Join(dir, "cla32.bench")
+	if err := batchals.Save(goldenPath, golden); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (area %.0f)\n", goldenPath, batchals.Area(golden))
+
+	// 2. Read it back — from here on everything works off the file.
+	loaded, err := batchals.Load(goldenPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Approximate under a 1% ER budget with both estimators.
+	for _, est := range []struct {
+		name string
+		kind batchals.Estimator
+	}{
+		{"batch", batchals.Batch},
+		{"local", batchals.Local},
+	} {
+		res, err := batchals.Approximate(loaded, batchals.Options{
+			Metric:      batchals.ErrorRate,
+			Threshold:   0.01,
+			Estimator:   est.kind,
+			NumPatterns: 5000,
+			Seed:        11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outPath := filepath.Join(dir, "cla32_"+est.name+".blif")
+		if err := batchals.Save(outPath, res.Approx); err != nil {
+			log.Fatal(err)
+		}
+		check := batchals.MeasureError(loaded, res.Approx, 50000, 17)
+		fmt.Printf("%-6s: %3d substitutions, area ratio %.3f, verified ER %.4f%% -> %s\n",
+			est.name, res.NumIterations, res.AreaRatio(), 100*check.ErrorRate,
+			filepath.Base(outPath))
+	}
+	fmt.Println("\nthe batch estimator reaches an equal or lower area ratio at the same budget;")
+	fmt.Println("the gap widens on circuits with more logic masking (try mul8 or c880).")
+}

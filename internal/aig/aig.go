@@ -1,0 +1,317 @@
+// Package aig provides an AND-inverter graph: the two-input-AND +
+// complemented-edge circuit representation used by modern logic synthesis
+// tools, with structural hashing and constant/trivial-rule folding.
+//
+// The paper notes its estimation technique "can be applied to any
+// graph-based representation of circuits, such as AND-inverter graph
+// (AIG)". This package makes that concrete for this library: any network
+// converts to an AIG (FromNetwork) and back to a plain gate netlist
+// (ToNetwork) whose nodes are 2-input ANDs and inverters — on which the
+// CPM estimator and the ALS flows run unchanged. The package tests include
+// exactly that end-to-end demonstration.
+package aig
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// Lit is a literal: a node index shifted left once, with the low bit set
+// for complementation. The constant-false node is index 0, so Const0 = 0
+// and Const1 = 1.
+type Lit uint32
+
+// Literals of the constant node.
+const (
+	Const0 Lit = 0
+	Const1 Lit = 1
+)
+
+// Var returns the node index of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// IsCompl reports whether the literal is complemented.
+func (l Lit) IsCompl() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// node is one AND node; inputs have both fanins set to the sentinel.
+type node struct {
+	f0, f1 Lit
+}
+
+const inputSentinel = ^Lit(0)
+
+// Graph is an AND-inverter graph. The zero value is not usable; call New.
+type Graph struct {
+	Name    string
+	nodes   []node // index 0 is the constant-false node
+	inputs  []int  // node indices of primary inputs
+	outputs []Lit
+	outName []string
+	inName  []string
+	strash  map[[2]Lit]int
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	g := &Graph{Name: name, strash: make(map[[2]Lit]int)}
+	g.nodes = append(g.nodes, node{}) // constant node
+	return g
+}
+
+// NumNodes returns the total node count including the constant and inputs.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumAnds returns the number of AND nodes.
+func (g *Graph) NumAnds() int { return len(g.nodes) - 1 - len(g.inputs) }
+
+// NumInputs returns the number of primary inputs.
+func (g *Graph) NumInputs() int { return len(g.inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (g *Graph) NumOutputs() int { return len(g.outputs) }
+
+// AddInput appends a primary input and returns its positive literal.
+func (g *Graph) AddInput(name string) Lit {
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{f0: inputSentinel, f1: inputSentinel})
+	g.inputs = append(g.inputs, idx)
+	g.inName = append(g.inName, name)
+	return Lit(idx << 1)
+}
+
+// AddOutput binds literal l as a primary output.
+func (g *Graph) AddOutput(name string, l Lit) {
+	g.outputs = append(g.outputs, l)
+	g.outName = append(g.outName, name)
+}
+
+// Output returns output literal o.
+func (g *Graph) Output(o int) Lit { return g.outputs[o] }
+
+// isInput reports whether node index i is a primary input.
+func (g *Graph) isInput(i int) bool {
+	return i > 0 && g.nodes[i].f0 == inputSentinel
+}
+
+// And returns a literal for f0 AND f1, applying the standard trivial
+// rules and structural hashing.
+func (g *Graph) And(a, b Lit) Lit {
+	// Normalise operand order for hashing.
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == Const0:
+		return Const0
+	case a == Const1:
+		return b
+	case a == b:
+		return a
+	case a == b.Not():
+		return Const0
+	}
+	key := [2]Lit{a, b}
+	if idx, ok := g.strash[key]; ok {
+		return Lit(idx << 1)
+	}
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{f0: a, f1: b})
+	g.strash[key] = idx
+	return Lit(idx << 1)
+}
+
+// Or returns a literal for a OR b.
+func (g *Graph) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a literal for a XOR b (3 AND nodes).
+func (g *Graph) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Mux returns a literal for sel ? d1 : d0.
+func (g *Graph) Mux(sel, d0, d1 Lit) Lit {
+	return g.Or(g.And(sel, d1), g.And(sel.Not(), d0))
+}
+
+// Eval evaluates every output under a complete input assignment, in input
+// declaration order.
+func (g *Graph) Eval(assignment []bool) []bool {
+	if len(assignment) != len(g.inputs) {
+		panic(fmt.Sprintf("aig: %d assignment bits for %d inputs", len(assignment), len(g.inputs)))
+	}
+	val := make([]bool, len(g.nodes))
+	val[0] = false
+	for k, idx := range g.inputs {
+		val[idx] = assignment[k]
+	}
+	for i := 1; i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		if n.f0 == inputSentinel {
+			continue
+		}
+		a := val[n.f0.Var()] != n.f0.IsCompl()
+		b := val[n.f1.Var()] != n.f1.IsCompl()
+		val[i] = a && b
+	}
+	outs := make([]bool, len(g.outputs))
+	for o, l := range g.outputs {
+		outs[o] = val[l.Var()] != l.IsCompl()
+	}
+	return outs
+}
+
+// Levels returns the AND-level of every node (inputs and the constant are
+// level 0).
+func (g *Graph) Levels() []int {
+	lv := make([]int, len(g.nodes))
+	for i := 1; i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		if n.f0 == inputSentinel {
+			continue
+		}
+		l0, l1 := lv[n.f0.Var()], lv[n.f1.Var()]
+		if l1 > l0 {
+			l0 = l1
+		}
+		lv[i] = l0 + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum output level.
+func (g *Graph) Depth() int {
+	lv := g.Levels()
+	d := 0
+	for _, l := range g.outputs {
+		if lv[l.Var()] > d {
+			d = lv[l.Var()]
+		}
+	}
+	return d
+}
+
+// FromNetwork converts a gate-level network into an AIG. N-ary gates are
+// decomposed into balanced 2-input trees; structural hashing merges
+// duplicate logic on the way in.
+func FromNetwork(n *circuit.Network) (*Graph, error) {
+	g := New(n.Name)
+	lits := make([]Lit, n.NumSlots())
+	for i, in := range n.Inputs() {
+		_ = i
+		lits[in] = g.AddInput(n.NameOf(in))
+	}
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == circuit.KindInput {
+			continue
+		}
+		fanins := n.Fanins(id)
+		ops := make([]Lit, len(fanins))
+		for j, f := range fanins {
+			ops[j] = lits[f]
+		}
+		var l Lit
+		switch kind {
+		case circuit.KindConst0:
+			l = Const0
+		case circuit.KindConst1:
+			l = Const1
+		case circuit.KindBuf:
+			l = ops[0]
+		case circuit.KindNot:
+			l = ops[0].Not()
+		case circuit.KindAnd, circuit.KindNand:
+			l = g.balanced(ops, g.And)
+			if kind == circuit.KindNand {
+				l = l.Not()
+			}
+		case circuit.KindOr, circuit.KindNor:
+			l = g.balanced(ops, g.Or)
+			if kind == circuit.KindNor {
+				l = l.Not()
+			}
+		case circuit.KindXor, circuit.KindXnor:
+			l = g.balanced(ops, g.Xor)
+			if kind == circuit.KindXnor {
+				l = l.Not()
+			}
+		case circuit.KindMux:
+			l = g.Mux(ops[0], ops[1], ops[2])
+		default:
+			return nil, fmt.Errorf("aig: unsupported kind %v", kind)
+		}
+		lits[id] = l
+	}
+	for _, out := range n.Outputs() {
+		g.AddOutput(out.Name, lits[out.Node])
+	}
+	return g, nil
+}
+
+// balanced folds the operands with op as a balanced tree (keeps AIG depth
+// logarithmic in the gate arity).
+func (g *Graph) balanced(ops []Lit, op func(Lit, Lit) Lit) Lit {
+	switch len(ops) {
+	case 0:
+		panic("aig: empty operand list")
+	case 1:
+		return ops[0]
+	}
+	mid := len(ops) / 2
+	return op(g.balanced(ops[:mid], op), g.balanced(ops[mid:], op))
+}
+
+// ToNetwork converts the AIG back to a gate-level network of 2-input AND
+// gates and inverters (one shared inverter per complemented node), the
+// representation on which the flows and the CPM estimator run.
+func (g *Graph) ToNetwork() *circuit.Network {
+	n := circuit.New(g.Name)
+	pos := make([]circuit.NodeID, len(g.nodes)) // positive-phase node
+	neg := make([]circuit.NodeID, len(g.nodes)) // lazily created inverter
+	for i := range neg {
+		neg[i] = circuit.InvalidNode
+		pos[i] = circuit.InvalidNode
+	}
+	var c0 circuit.NodeID = circuit.InvalidNode
+	constant := func() circuit.NodeID {
+		if c0 == circuit.InvalidNode {
+			c0 = n.AddConst(false)
+		}
+		return c0
+	}
+	for k, idx := range g.inputs {
+		pos[idx] = n.AddInput(g.inName[k])
+	}
+	litOf := func(l Lit) circuit.NodeID {
+		v := l.Var()
+		var base circuit.NodeID
+		if v == 0 {
+			base = constant()
+		} else {
+			base = pos[v]
+		}
+		if !l.IsCompl() {
+			return base
+		}
+		if neg[v] == circuit.InvalidNode {
+			neg[v] = n.AddGate(circuit.KindNot, base)
+		}
+		return neg[v]
+	}
+	for i := 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		if nd.f0 == inputSentinel {
+			continue
+		}
+		pos[i] = n.AddGate(circuit.KindAnd, litOf(nd.f0), litOf(nd.f1))
+	}
+	for o, l := range g.outputs {
+		n.AddOutput(g.outName[o], litOf(l))
+	}
+	n.Sweep()
+	return n
+}

@@ -1,0 +1,335 @@
+// Package bdd implements a reduced ordered binary decision diagram (ROBDD)
+// engine with an ITE-based apply, unique and computed tables, satisfying
+// assignment counting and exact signal-probability evaluation.
+//
+// In this library it serves as the "analytical method" the paper contrasts
+// with Monte Carlo estimation (Section 4.1): it computes exact error rates
+// of approximate circuits via an XOR miter, independent of sampling, which
+// the tests use to cross-check the MC machinery on mid-size circuits.
+package bdd
+
+import (
+	"fmt"
+	"math"
+
+	"batchals/internal/circuit"
+)
+
+// Ref references a BDD node within a Manager. The constants Zero and One
+// are the terminal nodes of every manager.
+type Ref int32
+
+// Terminal nodes, shared by all managers.
+const (
+	Zero Ref = 0
+	One  Ref = 1
+)
+
+type node struct {
+	level   int32 // variable index; terminals use a sentinel level
+	low, hi Ref
+}
+
+type triple struct{ f, g, h Ref }
+
+// Manager owns the node store for a fixed number of ordered variables. The
+// zero value is unusable; call New.
+type Manager struct {
+	numVars  int
+	nodes    []node
+	unique   map[node]Ref
+	computed map[triple]Ref
+	vars     []Ref // projection function per variable
+}
+
+const terminalLevel = int32(1) << 30
+
+// New returns a manager over numVars variables with the identity order.
+func New(numVars int) *Manager {
+	m := &Manager{
+		numVars:  numVars,
+		unique:   make(map[node]Ref),
+		computed: make(map[triple]Ref),
+	}
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel}, // Zero
+		node{level: terminalLevel}, // One
+	)
+	m.vars = make([]Ref, numVars)
+	for i := 0; i < numVars; i++ {
+		m.vars[i] = m.mk(int32(i), Zero, One)
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// NumNodes returns the number of allocated nodes including terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Var returns the projection function of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: Var(%d) out of range", i))
+	}
+	return m.vars[i]
+}
+
+// mk returns the canonical node (level, low, hi), applying the reduction
+// rule low==hi.
+func (m *Manager) mk(level int32, low, hi Ref) Ref {
+	if low == hi {
+		return low
+	}
+	key := node{level: level, low: low, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else(f, g, h), the universal ternary operator.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == One:
+		return g
+	case f == Zero:
+		return h
+	case g == One && h == Zero:
+		return f
+	case g == h:
+		return g
+	}
+	key := triple{f, g, h}
+	if r, ok := m.computed[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	low := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, low, hi)
+	m.computed[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.low, n.hi
+}
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, Zero) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, One, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, Zero, One) }
+
+// Implies returns NOT f OR g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, One) }
+
+// Eval evaluates f under a complete variable assignment.
+func (m *Manager) Eval(f Ref, assignment []bool) bool {
+	for f != Zero && f != One {
+		n := m.nodes[f]
+		if assignment[n.level] {
+			f = n.hi
+		} else {
+			f = n.low
+		}
+	}
+	return f == One
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables, as a float64 (exact for < 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(r Ref) float64 // fraction of assignments below r's level
+	count = func(r Ref) float64 {
+		if r == Zero {
+			return 0
+		}
+		if r == One {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		v := 0.5*count(n.low) + 0.5*count(n.hi)
+		memo[r] = v
+		return v
+	}
+	return count(f) * math.Pow(2, float64(m.numVars))
+}
+
+// Probability returns the probability that f is 1 when variable i is 1
+// independently with probability prob[i].
+func (m *Manager) Probability(f Ref, prob []float64) float64 {
+	if len(prob) != m.numVars {
+		panic("bdd: probability vector length mismatch")
+	}
+	memo := make(map[Ref]float64)
+	var walk func(r Ref) float64
+	walk = func(r Ref) float64 {
+		if r == Zero {
+			return 0
+		}
+		if r == One {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		p := prob[n.level]
+		v := (1-p)*walk(n.low) + p*walk(n.hi)
+		memo[r] = v
+		return v
+	}
+	return walk(f)
+}
+
+// FromNetwork builds the BDD of every primary output of the network, using
+// input declaration order as variable order. It returns one Ref per output.
+// Intended for small and mid-size circuits; node growth is unbounded.
+func (m *Manager) FromNetwork(n *circuit.Network) ([]Ref, error) {
+	refs, err := m.allNodeRefs(n)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]Ref, n.NumOutputs())
+	for o, out := range n.Outputs() {
+		outs[o] = refs[out.Node]
+	}
+	return outs, nil
+}
+
+// ExactErrorRate computes the exact error rate between two networks with
+// identical input counts and output counts under uniform inputs, by
+// building the XOR miter of each output pair and counting the assignments
+// where any miter is 1.
+func ExactErrorRate(golden, approx *circuit.Network) (float64, error) {
+	if golden.NumInputs() != approx.NumInputs() {
+		return 0, fmt.Errorf("bdd: input counts differ: %d vs %d",
+			golden.NumInputs(), approx.NumInputs())
+	}
+	if golden.NumOutputs() != approx.NumOutputs() {
+		return 0, fmt.Errorf("bdd: output counts differ: %d vs %d",
+			golden.NumOutputs(), approx.NumOutputs())
+	}
+	m := New(golden.NumInputs())
+	g, err := m.FromNetwork(golden)
+	if err != nil {
+		return 0, err
+	}
+	a, err := m.FromNetwork(approx)
+	if err != nil {
+		return 0, err
+	}
+	any := Zero
+	for o := range g {
+		any = m.Or(any, m.Xor(g[o], a[o]))
+	}
+	return m.SatCount(any) / math.Pow(2, float64(m.numVars)), nil
+}
+
+// ExactSignalProbabilities returns, for every live node of the network,
+// its exact probability of being 1 under independent input probabilities
+// prob (indexed by input position). The result is indexed by NodeID.
+func ExactSignalProbabilities(n *circuit.Network, prob []float64) ([]float64, error) {
+	m := New(n.NumInputs())
+	full, err := m.allNodeRefs(n)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]float64, n.NumSlots())
+	for _, id := range n.LiveNodes() {
+		outs[id] = m.Probability(full[id], prob)
+	}
+	return outs, nil
+}
+
+// allNodeRefs builds the BDD of every live node (not just outputs).
+func (m *Manager) allNodeRefs(n *circuit.Network) ([]Ref, error) {
+	if n.NumInputs() != m.numVars {
+		return nil, fmt.Errorf("bdd: network has %d inputs, manager has %d vars",
+			n.NumInputs(), m.numVars)
+	}
+	refs := make([]Ref, n.NumSlots())
+	for i, in := range n.Inputs() {
+		refs[in] = m.Var(i)
+	}
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == circuit.KindInput {
+			continue
+		}
+		fanins := n.Fanins(id)
+		var r Ref
+		switch kind {
+		case circuit.KindConst0:
+			r = Zero
+		case circuit.KindConst1:
+			r = One
+		case circuit.KindBuf:
+			r = refs[fanins[0]]
+		case circuit.KindNot:
+			r = m.Not(refs[fanins[0]])
+		case circuit.KindAnd, circuit.KindNand:
+			r = One
+			for _, f := range fanins {
+				r = m.And(r, refs[f])
+			}
+			if kind == circuit.KindNand {
+				r = m.Not(r)
+			}
+		case circuit.KindOr, circuit.KindNor:
+			r = Zero
+			for _, f := range fanins {
+				r = m.Or(r, refs[f])
+			}
+			if kind == circuit.KindNor {
+				r = m.Not(r)
+			}
+		case circuit.KindXor, circuit.KindXnor:
+			r = Zero
+			for _, f := range fanins {
+				r = m.Xor(r, refs[f])
+			}
+			if kind == circuit.KindXnor {
+				r = m.Not(r)
+			}
+		case circuit.KindMux:
+			r = m.ITE(refs[fanins[0]], refs[fanins[2]], refs[fanins[1]])
+		default:
+			return nil, fmt.Errorf("bdd: unsupported kind %v", kind)
+		}
+		refs[id] = r
+	}
+	return refs, nil
+}

@@ -1,0 +1,252 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/circuit"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+func TestBasicOperators(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	cases := []struct {
+		name string
+		f    Ref
+		tt   [4]bool // rows 00,10,01,11 in (a,b) order
+	}{
+		{"and", m.And(a, b), [4]bool{false, false, false, true}},
+		{"or", m.Or(a, b), [4]bool{false, true, true, true}},
+		{"xor", m.Xor(a, b), [4]bool{false, true, true, false}},
+		{"nota", m.Not(a), [4]bool{true, false, true, false}},
+		{"implies", m.Implies(a, b), [4]bool{true, false, true, true}},
+	}
+	for _, c := range cases {
+		for i := 0; i < 4; i++ {
+			asg := []bool{i&1 == 1, i&2 == 2}
+			if got := m.Eval(c.f, asg); got != c.tt[i] {
+				t.Errorf("%s(%v) = %v want %v", c.name, asg, got, c.tt[i])
+			}
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a and b) or c built two different ways must be the same node.
+	f1 := m.Or(m.And(a, b), c)
+	f2 := m.Not(m.And(m.Not(m.And(a, b)), m.Not(c)))
+	if f1 != f2 {
+		t.Fatal("equivalent functions got different refs (canonicity broken)")
+	}
+	// Tautology and contradiction collapse to terminals.
+	if m.Or(a, m.Not(a)) != One {
+		t.Fatal("a or !a != One")
+	}
+	if m.And(a, m.Not(a)) != Zero {
+		t.Fatal("a and !a != Zero")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	if got := m.SatCount(m.And(a, b)); got != 2 { // c free
+		t.Fatalf("satcount(ab)=%v want 2", got)
+	}
+	if got := m.SatCount(m.Or(m.Or(a, b), c)); got != 7 {
+		t.Fatalf("satcount(a+b+c)=%v want 7", got)
+	}
+	if m.SatCount(Zero) != 0 || m.SatCount(One) != 8 {
+		t.Fatal("terminal satcounts wrong")
+	}
+}
+
+func TestProbability(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if got := m.Probability(f, []float64{0.5, 0.5}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P(ab)=%v want 0.25", got)
+	}
+	if got := m.Probability(f, []float64{0.3, 0.7}); math.Abs(got-0.21) > 1e-12 {
+		t.Fatalf("P(ab)=%v want 0.21", got)
+	}
+	g := m.Xor(a, b)
+	if got := m.Probability(g, []float64{0.3, 0.7}); math.Abs(got-(0.3*0.3+0.7*0.7)) > 1e-12 {
+		t.Fatalf("P(a^b)=%v", got)
+	}
+}
+
+func TestFromNetworkMatchesSimulation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := randomDAG(t, r, 6, 40)
+		m := New(6)
+		outs, err := m.FromNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sim.ExhaustivePatterns(6)
+		v := sim.Simulate(n, p)
+		asg := make([]bool, 6)
+		for i := 0; i < p.NumPatterns(); i++ {
+			for k := 0; k < 6; k++ {
+				asg[k] = p.Bit(i, k)
+			}
+			for o, out := range n.Outputs() {
+				if m.Eval(outs[o], asg) != v.Bit(out.Node, i) {
+					t.Fatalf("trial %d output %d pattern %d mismatch", trial, o, i)
+				}
+			}
+		}
+	}
+}
+
+func randomDAG(t testing.TB, r *rand.Rand, nin, ngates int) *circuit.Network {
+	t.Helper()
+	n := circuit.New("dag")
+	pool := make([]circuit.NodeID, 0, nin+ngates)
+	for i := 0; i < nin; i++ {
+		pool = append(pool, n.AddInput(""))
+	}
+	kinds := []circuit.Kind{circuit.KindAnd, circuit.KindOr, circuit.KindNand,
+		circuit.KindNor, circuit.KindXor, circuit.KindXnor, circuit.KindNot, circuit.KindMux}
+	for i := 0; i < ngates; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		var id circuit.NodeID
+		switch k {
+		case circuit.KindNot:
+			id = n.AddGate(k, pool[r.Intn(len(pool))])
+		case circuit.KindMux:
+			id = n.AddGate(k, pool[r.Intn(len(pool))], pool[r.Intn(len(pool))], pool[r.Intn(len(pool))])
+		default:
+			id = n.AddGate(k, pool[r.Intn(len(pool))], pool[r.Intn(len(pool))])
+		}
+		pool = append(pool, id)
+	}
+	for _, id := range pool {
+		if len(n.Fanouts(id)) == 0 {
+			n.AddOutput("", id)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestExactErrorRateAgainstEnumeration(t *testing.T) {
+	// Golden: 4-bit RCA. Approx: 4-bit RCA with the carry chain cut at
+	// bit 2 (replace one gate output by constant 0).
+	golden := bench.RCA(4)
+	approx := golden.Clone()
+	// Break the first OR gate found (a carry gate).
+	var target circuit.NodeID = circuit.InvalidNode
+	for _, id := range approx.LiveNodes() {
+		if approx.Kind(id) == circuit.KindOr {
+			target = id
+			break
+		}
+	}
+	if target == circuit.InvalidNode {
+		t.Fatal("no OR gate in RCA4")
+	}
+	c0 := approx.AddConst(false)
+	approx.ReplaceNode(target, c0)
+	approx.SweepFrom(target)
+
+	got, err := ExactErrorRate(golden, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := emetric.MeasureExact(golden, approx).ErrorRate
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BDD ER %v != enumeration ER %v", got, want)
+	}
+	if got == 0 {
+		t.Fatal("cut carry chain should produce nonzero error")
+	}
+}
+
+func TestExactErrorRateIdentical(t *testing.T) {
+	g := bench.MUL(4)
+	got, err := ExactErrorRate(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("identical circuits ER %v", got)
+	}
+}
+
+func TestExactErrorRateRandomizedVsEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		golden := randomDAG(t, r, 7, 35)
+		approx := golden.Clone()
+		// Corrupt: replace a random gate with a constant.
+		var gates []circuit.NodeID
+		for _, id := range approx.LiveNodes() {
+			if approx.Kind(id).IsGate() {
+				gates = append(gates, id)
+			}
+		}
+		tgt := gates[r.Intn(len(gates))]
+		c := approx.AddConst(r.Intn(2) == 1)
+		approx.ReplaceNode(tgt, c)
+		approx.SweepFrom(tgt)
+
+		got, err := ExactErrorRate(golden, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := emetric.MeasureExact(golden, approx).ErrorRate
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: BDD %v vs enumeration %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactSignalProbabilities(t *testing.T) {
+	n := circuit.New("p")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.AddGate(circuit.KindAnd, a, b)
+	o := n.AddGate(circuit.KindOr, g, a) // == a (absorption)
+	n.AddOutput("o", o)
+	probs, err := ExactSignalProbabilities(n, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[g]-0.25) > 1e-12 || math.Abs(probs[o]-0.5) > 1e-12 {
+		t.Fatalf("probs wrong: g=%v o=%v", probs[g], probs[o])
+	}
+}
+
+func TestErrorsOnShapeMismatch(t *testing.T) {
+	if _, err := ExactErrorRate(bench.RCA(4), bench.RCA(5)); err == nil {
+		t.Fatal("expected input-count mismatch error")
+	}
+}
+
+func TestMismatchedManagerVars(t *testing.T) {
+	m := New(3)
+	if _, err := m.FromNetwork(bench.RCA(4)); err == nil {
+		t.Fatal("expected var-count mismatch error")
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Var(5)
+}

@@ -1,0 +1,106 @@
+package bdd
+
+import (
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/circuit"
+	"batchals/internal/sim"
+)
+
+func TestEquivalenceOfClones(t *testing.T) {
+	for _, name := range []string{"rca8", "mul4", "cmp8", "alu4"} {
+		g, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckEquivalence(g, g.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%s: clone not equivalent (output %d)", name, res.FailingOutput)
+		}
+	}
+}
+
+func TestEquivalenceOfDedupedNetwork(t *testing.T) {
+	g, _ := bench.ByName("mul4")
+	d := g.Clone()
+	d.Dedup()
+	res, err := CheckEquivalence(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("Dedup changed behaviour (formally)")
+	}
+}
+
+func TestEquivalenceOfDifferentAdderArchitectures(t *testing.T) {
+	// RCA, CLA and KSA implement the same function: formal equivalence
+	// across architectures is the strongest cross-check of the generators.
+	rca := bench.RCA(8)
+	cla := bench.CLA(8)
+	ksa := bench.KSA(8)
+	for _, pair := range [][2]*circuit.Network{{rca, cla}, {rca, ksa}, {cla, ksa}} {
+		res, err := CheckEquivalence(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%s vs %s: not equivalent at output %d, cex=%v",
+				pair[0].Name, pair[1].Name, res.FailingOutput, res.Counterexample)
+		}
+	}
+}
+
+func TestCounterexampleIsReal(t *testing.T) {
+	golden := bench.RCA(4)
+	approx := golden.Clone()
+	// Corrupt one gate.
+	var target circuit.NodeID = circuit.InvalidNode
+	for _, id := range approx.LiveNodes() {
+		if approx.Kind(id) == circuit.KindXor {
+			target = id
+			break
+		}
+	}
+	c := approx.AddConst(false)
+	approx.ReplaceNode(target, c)
+	approx.SweepFrom(target)
+
+	res, err := CheckEquivalence(golden, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("corrupted circuit reported equivalent")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+	// Replay the counterexample: the failing output must actually differ.
+	og := sim.EvalOne(golden, res.Counterexample)
+	oa := sim.EvalOne(approx, res.Counterexample)
+	if og[res.FailingOutput] == oa[res.FailingOutput] {
+		t.Fatal("counterexample does not expose the difference")
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.And(m.And(a, m.Not(b)), c)
+	asg := m.AnySat(f)
+	if asg == nil || !m.Eval(f, asg) {
+		t.Fatalf("AnySat returned non-satisfying %v", asg)
+	}
+	if m.AnySat(Zero) != nil {
+		t.Fatal("AnySat(Zero) should be nil")
+	}
+	one := m.AnySat(One)
+	if one == nil || !m.Eval(One, one) {
+		t.Fatal("AnySat(One) broken")
+	}
+}

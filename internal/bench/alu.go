@@ -1,0 +1,67 @@
+package bench
+
+import "batchals/internal/circuit"
+
+// ALU4 returns a 4-bit arithmetic-logic unit with the same I/O signature as
+// the MCNC alu4 benchmark used in the paper: 14 inputs and 8 outputs. Our
+// behavioural definition (see DESIGN.md on the substitution):
+//
+//	inputs:  a0..a3, b0..b3, op0, op1, cin, mode, x0, x1
+//	outputs: f0..f3, cout, zero, parity, aux
+//
+// In arithmetic mode (mode=1) the unit computes a+b+cin (op1=0) or
+// a-b-1+cin via complemented b (op1=1); in logic mode it selects among
+// AND/OR/XOR/NOT-a by op1,op0. The spare inputs x0,x1 gate the aux output
+// so that all 14 inputs are load-bearing.
+func ALU4() *circuit.Network {
+	n := circuit.New("alu4")
+	a := addInputVector(n, "a", 4)
+	b := addInputVector(n, "b", 4)
+	op0 := n.AddInput("op0")
+	op1 := n.AddInput("op1")
+	cin := n.AddInput("cin")
+	mode := n.AddInput("mode")
+	x0 := n.AddInput("x0")
+	x1 := n.AddInput("x1")
+
+	// Arithmetic unit: b conditionally complemented by op1 (subtract).
+	bx := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		bx[i] = n.AddGate(circuit.KindXor, b[i], op1)
+	}
+	sum := make([]circuit.NodeID, 4)
+	carry := cin
+	for i := 0; i < 4; i++ {
+		sum[i], carry = fullAdder(n, a[i], bx[i], carry)
+	}
+	cout := carry
+
+	// Logic unit selected by op1,op0: 00 AND, 01 OR, 10 XOR, 11 NOT a.
+	logic := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		andG := n.AddGate(circuit.KindAnd, a[i], b[i])
+		orG := n.AddGate(circuit.KindOr, a[i], b[i])
+		xorG := n.AddGate(circuit.KindXor, a[i], b[i])
+		notG := n.AddGate(circuit.KindNot, a[i])
+		sel0 := n.AddGate(circuit.KindMux, op0, andG, orG)  // op1=0
+		sel1 := n.AddGate(circuit.KindMux, op0, xorG, notG) // op1=1
+		logic[i] = n.AddGate(circuit.KindMux, op1, sel0, sel1)
+	}
+
+	// Mode mux and flags.
+	f := make([]circuit.NodeID, 4)
+	for i := 0; i < 4; i++ {
+		f[i] = n.AddGate(circuit.KindMux, mode, logic[i], sum[i])
+	}
+	zero := n.AddGate(circuit.KindNor, f[0], f[1], f[2], f[3])
+	par := n.AddGate(circuit.KindXor, f[0], f[1], f[2], f[3])
+	xg := n.AddGate(circuit.KindAnd, x0, x1)
+	aux := n.AddGate(circuit.KindXor, xg, cout)
+
+	addOutputVector(n, "f", f)
+	n.AddOutput("cout", n.AddGate(circuit.KindAnd, cout, mode))
+	n.AddOutput("zero", zero)
+	n.AddOutput("parity", par)
+	n.AddOutput("aux", aux)
+	return n
+}

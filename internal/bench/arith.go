@@ -1,0 +1,203 @@
+// Package bench generates the benchmark circuits of the paper's evaluation:
+// parametric adders (ripple-carry, carry-lookahead, Kogge-Stone),
+// multipliers (array and Wallace-tree), a 14-input/8-output ALU, and seeded
+// synthetic stand-ins for the ISCAS85 circuits (see DESIGN.md for the
+// substitution rationale), plus a few extra generators useful in examples.
+//
+// All generators are deterministic: the same call always returns a
+// structurally identical network.
+package bench
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// fullAdder adds one bit column; returns (sum, carryOut).
+func fullAdder(n *circuit.Network, a, b, cin circuit.NodeID) (circuit.NodeID, circuit.NodeID) {
+	x := n.AddGate(circuit.KindXor, a, b)
+	s := n.AddGate(circuit.KindXor, x, cin)
+	g := n.AddGate(circuit.KindAnd, a, b)
+	p := n.AddGate(circuit.KindAnd, x, cin)
+	co := n.AddGate(circuit.KindOr, g, p)
+	return s, co
+}
+
+// halfAdder returns (sum, carryOut) of two bits.
+func halfAdder(n *circuit.Network, a, b circuit.NodeID) (circuit.NodeID, circuit.NodeID) {
+	return n.AddGate(circuit.KindXor, a, b), n.AddGate(circuit.KindAnd, a, b)
+}
+
+// addInputVector declares width named input bits (LSB first).
+func addInputVector(n *circuit.Network, prefix string, width int) []circuit.NodeID {
+	ids := make([]circuit.NodeID, width)
+	for i := range ids {
+		ids[i] = n.AddInput(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ids
+}
+
+// addOutputVector binds the given drivers as named outputs (LSB first).
+func addOutputVector(n *circuit.Network, prefix string, drivers []circuit.NodeID) {
+	for i, d := range drivers {
+		n.AddOutput(fmt.Sprintf("%s%d", prefix, i), d)
+	}
+}
+
+// RCA returns a width-bit ripple-carry adder: inputs a0..a(w-1), b0..b(w-1);
+// outputs s0..s(w) where s(w) is the carry out. The paper's RCA32 is
+// RCA(32).
+func RCA(width int) *circuit.Network {
+	mustPositive("RCA", width)
+	n := circuit.New(fmt.Sprintf("RCA%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	sums := make([]circuit.NodeID, 0, width+1)
+	var s, c circuit.NodeID
+	s, c = halfAdder(n, a[0], b[0])
+	sums = append(sums, s)
+	for i := 1; i < width; i++ {
+		s, c = fullAdder(n, a[i], b[i], c)
+		sums = append(sums, s)
+	}
+	sums = append(sums, c)
+	addOutputVector(n, "s", sums)
+	return n
+}
+
+// CLA returns a width-bit carry-lookahead adder built from 4-bit lookahead
+// groups with ripple between groups. The paper's CLA32 is CLA(32).
+func CLA(width int) *circuit.Network {
+	mustPositive("CLA", width)
+	n := circuit.New(fmt.Sprintf("CLA%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	p := make([]circuit.NodeID, width) // propagate a^b
+	g := make([]circuit.NodeID, width) // generate  a&b
+	for i := 0; i < width; i++ {
+		p[i] = n.AddGate(circuit.KindXor, a[i], b[i])
+		g[i] = n.AddGate(circuit.KindAnd, a[i], b[i])
+	}
+	sums := make([]circuit.NodeID, 0, width+1)
+	carry := n.AddConst(false)
+	for base := 0; base < width; base += 4 {
+		end := base + 4
+		if end > width {
+			end = width
+		}
+		// Carries within the group expanded in sum-of-products form:
+		// c_{i+1} = g_i + p_i g_{i-1} + ... + p_i...p_base * carryIn.
+		cin := carry
+		for i := base; i < end; i++ {
+			sums = append(sums, n.AddGate(circuit.KindXor, p[i], cin))
+			// ci+1 terms
+			acc := g[i]
+			run := p[i]
+			for j := i - 1; j >= base; j-- {
+				t := n.AddGate(circuit.KindAnd, run, g[j])
+				acc = n.AddGate(circuit.KindOr, acc, t)
+				run = n.AddGate(circuit.KindAnd, run, p[j])
+			}
+			t := n.AddGate(circuit.KindAnd, run, carry)
+			cin = n.AddGate(circuit.KindOr, acc, t)
+		}
+		carry = cin
+	}
+	sums = append(sums, carry)
+	addOutputVector(n, "s", sums)
+	return n
+}
+
+// KSA returns a width-bit Kogge-Stone parallel-prefix adder. The paper's
+// KSA32 is KSA(32).
+func KSA(width int) *circuit.Network {
+	mustPositive("KSA", width)
+	n := circuit.New(fmt.Sprintf("KSA%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	p := make([]circuit.NodeID, width)
+	g := make([]circuit.NodeID, width)
+	for i := 0; i < width; i++ {
+		p[i] = n.AddGate(circuit.KindXor, a[i], b[i])
+		g[i] = n.AddGate(circuit.KindAnd, a[i], b[i])
+	}
+	// Prefix tree: after the passes, g[i] is the carry out of bit i.
+	gp := append([]circuit.NodeID(nil), g...)
+	pp := append([]circuit.NodeID(nil), p...)
+	for d := 1; d < width; d *= 2 {
+		ng := append([]circuit.NodeID(nil), gp...)
+		np := append([]circuit.NodeID(nil), pp...)
+		for i := d; i < width; i++ {
+			t := n.AddGate(circuit.KindAnd, pp[i], gp[i-d])
+			ng[i] = n.AddGate(circuit.KindOr, gp[i], t)
+			np[i] = n.AddGate(circuit.KindAnd, pp[i], pp[i-d])
+		}
+		gp, pp = ng, np
+	}
+	sums := make([]circuit.NodeID, 0, width+1)
+	sums = append(sums, n.AddGate(circuit.KindBuf, p[0]))
+	for i := 1; i < width; i++ {
+		sums = append(sums, n.AddGate(circuit.KindXor, p[i], gp[i-1]))
+	}
+	sums = append(sums, n.AddGate(circuit.KindBuf, gp[width-1]))
+	addOutputVector(n, "s", sums)
+	return n
+}
+
+// Comparator returns a width-bit unsigned comparator with outputs lt, eq,
+// gt for inputs a, b.
+func Comparator(width int) *circuit.Network {
+	mustPositive("Comparator", width)
+	n := circuit.New(fmt.Sprintf("CMP%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	// eq_i = a_i xnor b_i ; gt from MSB down.
+	var eqAll, gt, lt circuit.NodeID
+	for i := width - 1; i >= 0; i-- {
+		eq := n.AddGate(circuit.KindXnor, a[i], b[i])
+		na := n.AddGate(circuit.KindNot, a[i])
+		nb := n.AddGate(circuit.KindNot, b[i])
+		gti := n.AddGate(circuit.KindAnd, a[i], nb) // a>b at bit i
+		lti := n.AddGate(circuit.KindAnd, na, b[i])
+		if i == width-1 {
+			eqAll, gt, lt = eq, gti, lti
+			continue
+		}
+		gtHere := n.AddGate(circuit.KindAnd, eqAll, gti)
+		ltHere := n.AddGate(circuit.KindAnd, eqAll, lti)
+		gt = n.AddGate(circuit.KindOr, gt, gtHere)
+		lt = n.AddGate(circuit.KindOr, lt, ltHere)
+		eqAll = n.AddGate(circuit.KindAnd, eqAll, eq)
+	}
+	n.AddOutput("lt", lt)
+	n.AddOutput("eq", eqAll)
+	n.AddOutput("gt", gt)
+	return n
+}
+
+// Parity returns a width-input odd-parity tree.
+func Parity(width int) *circuit.Network {
+	mustPositive("Parity", width)
+	n := circuit.New(fmt.Sprintf("PAR%d", width))
+	in := addInputVector(n, "x", width)
+	level := in
+	for len(level) > 1 {
+		var next []circuit.NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, n.AddGate(circuit.KindXor, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	n.AddOutput("p", level[0])
+	return n
+}
+
+func mustPositive(gen string, width int) {
+	if width < 1 {
+		panic(fmt.Sprintf("bench: %s width must be >= 1, got %d", gen, width))
+	}
+}

@@ -1,0 +1,373 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"batchals/internal/cell"
+	"batchals/internal/circuit"
+	"batchals/internal/sim"
+)
+
+// evalUint runs the network on integer operands a and b (each width bits)
+// and decodes the outputs as an unsigned integer (output 0 = LSB).
+func evalUint(t *testing.T, n *circuit.Network, width int, a, b uint64, extra []bool) uint64 {
+	t.Helper()
+	in := make([]bool, n.NumInputs())
+	for i := 0; i < width; i++ {
+		in[i] = a>>uint(i)&1 == 1
+		in[width+i] = b>>uint(i)&1 == 1
+	}
+	copy(in[2*width:], extra)
+	out := sim.EvalOne(n, in)
+	var v uint64
+	for i, bit := range out {
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestAddersExhaustiveSmall(t *testing.T) {
+	for _, gen := range []struct {
+		name  string
+		build func(int) *circuit.Network
+	}{
+		{"RCA", RCA}, {"CLA", CLA}, {"KSA", KSA},
+	} {
+		for _, width := range []int{1, 2, 3, 4, 5} {
+			n := gen.build(width)
+			if err := n.Validate(); err != nil {
+				t.Fatalf("%s(%d): %v", gen.name, width, err)
+			}
+			max := uint64(1) << uint(width)
+			for a := uint64(0); a < max; a++ {
+				for b := uint64(0); b < max; b++ {
+					got := evalUint(t, n, width, a, b, nil)
+					if got != a+b {
+						t.Fatalf("%s(%d): %d+%d=%d got %d", gen.name, width, a, b, a+b, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAdders32Random(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, gen := range []struct {
+		name  string
+		build func(int) *circuit.Network
+	}{
+		{"RCA", RCA}, {"CLA", CLA}, {"KSA", KSA},
+	} {
+		n := gen.build(32)
+		if n.NumInputs() != 64 || n.NumOutputs() != 33 {
+			t.Fatalf("%s32 I/O = %d/%d want 64/33", gen.name, n.NumInputs(), n.NumOutputs())
+		}
+		for trial := 0; trial < 200; trial++ {
+			a := r.Uint64() & 0xFFFFFFFF
+			b := r.Uint64() & 0xFFFFFFFF
+			got := evalUint(t, n, 32, a, b, nil)
+			if got != a+b {
+				t.Fatalf("%s32: %d+%d=%d got %d", gen.name, a, b, a+b, got)
+			}
+		}
+	}
+}
+
+func TestMultipliersExhaustiveSmall(t *testing.T) {
+	for _, gen := range []struct {
+		name  string
+		build func(int) *circuit.Network
+	}{
+		{"MUL", MUL}, {"WTM", WTM},
+	} {
+		for _, width := range []int{1, 2, 3, 4} {
+			n := gen.build(width)
+			if err := n.Validate(); err != nil {
+				t.Fatalf("%s(%d): %v", gen.name, width, err)
+			}
+			if n.NumOutputs() != 2*width {
+				t.Fatalf("%s(%d) has %d outputs", gen.name, width, n.NumOutputs())
+			}
+			max := uint64(1) << uint(width)
+			for a := uint64(0); a < max; a++ {
+				for b := uint64(0); b < max; b++ {
+					got := evalUint(t, n, width, a, b, nil)
+					if got != a*b {
+						t.Fatalf("%s(%d): %d*%d=%d got %d", gen.name, width, a, b, a*b, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultipliers8Random(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, gen := range []struct {
+		name  string
+		build func(int) *circuit.Network
+	}{
+		{"MUL", MUL}, {"WTM", WTM},
+	} {
+		n := gen.build(8)
+		if n.NumInputs() != 16 || n.NumOutputs() != 16 {
+			t.Fatalf("%s8 I/O wrong: %d/%d", gen.name, n.NumInputs(), n.NumOutputs())
+		}
+		for trial := 0; trial < 300; trial++ {
+			a := uint64(r.Intn(256))
+			b := uint64(r.Intn(256))
+			got := evalUint(t, n, 8, a, b, nil)
+			if got != a*b {
+				t.Fatalf("%s8: %d*%d=%d got %d", gen.name, a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func TestWallaceShallowerThanArray(t *testing.T) {
+	arr := MUL(8)
+	wal := WTM(8)
+	if wal.Depth() >= arr.Depth() {
+		t.Fatalf("Wallace depth %d should beat array depth %d", wal.Depth(), arr.Depth())
+	}
+}
+
+func TestALU4Signature(t *testing.T) {
+	n := ALU4()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumInputs() != 14 || n.NumOutputs() != 8 {
+		t.Fatalf("alu4 I/O = %d/%d want 14/8", n.NumInputs(), n.NumOutputs())
+	}
+}
+
+func TestALU4Arithmetic(t *testing.T) {
+	n := ALU4()
+	// input order: a0..a3 b0..b3 op0 op1 cin mode x0 x1
+	eval := func(a, b uint64, op0, op1, cin, mode bool) (f uint64, flags []bool) {
+		in := make([]bool, 14)
+		for i := 0; i < 4; i++ {
+			in[i] = a>>uint(i)&1 == 1
+			in[4+i] = b>>uint(i)&1 == 1
+		}
+		in[8], in[9], in[10], in[11] = op0, op1, cin, mode
+		out := sim.EvalOne(n, in)
+		for i := 0; i < 4; i++ {
+			if out[i] {
+				f |= 1 << uint(i)
+			}
+		}
+		return f, out[4:]
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			// add: mode=1, op1=0, cin=0
+			if f, _ := eval(a, b, false, false, false, true); f != (a+b)&0xF {
+				t.Fatalf("add %d+%d got %d", a, b, f)
+			}
+			// sub: mode=1, op1=1, cin=1 -> a + ^b + 1 = a-b
+			if f, _ := eval(a, b, false, true, true, true); f != (a-b)&0xF {
+				t.Fatalf("sub %d-%d got %d", a, b, f)
+			}
+			// and: mode=0, op=00
+			if f, _ := eval(a, b, false, false, false, false); f != a&b {
+				t.Fatalf("and got %d", f)
+			}
+			// or: mode=0, op=01 (op0=1)
+			if f, _ := eval(a, b, true, false, false, false); f != a|b {
+				t.Fatalf("or got %d", f)
+			}
+			// xor: mode=0, op=10 (op1=1)
+			if f, _ := eval(a, b, false, true, false, false); f != a^b {
+				t.Fatalf("xor got %d", f)
+			}
+			// not a: mode=0, op=11
+			if f, _ := eval(a, b, true, true, false, false); f != ^a&0xF {
+				t.Fatalf("not got %d", f)
+			}
+			// zero flag
+			if f, flags := eval(a, b, false, false, false, true); (f == 0) != flags[1] {
+				t.Fatalf("zero flag wrong for f=%d", f)
+			}
+		}
+	}
+}
+
+func TestComparatorExhaustive(t *testing.T) {
+	n := Comparator(4)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>uint(i)&1 == 1
+				in[4+i] = b>>uint(i)&1 == 1
+			}
+			out := sim.EvalOne(n, in)
+			if out[0] != (a < b) || out[1] != (a == b) || out[2] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = %v", a, b, out)
+			}
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	n := Parity(9)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		in := make([]bool, 9)
+		want := false
+		for i := range in {
+			in[i] = r.Intn(2) == 1
+			want = want != in[i]
+		}
+		if got := sim.EvalOne(n, in)[0]; got != want {
+			t.Fatalf("parity wrong")
+		}
+	}
+}
+
+func TestISCASLikeSpecs(t *testing.T) {
+	lib := cell.Default()
+	for _, spec := range iscasSpecs {
+		n, err := ISCASLike(spec.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.NumInputs() != spec.in || n.NumOutputs() != spec.out {
+			t.Fatalf("%s: I/O %d/%d want %d/%d", spec.name,
+				n.NumInputs(), n.NumOutputs(), spec.in, spec.out)
+		}
+		area := lib.NetworkArea(n)
+		if area < spec.targetArea*0.5 || area > spec.targetArea*1.5 {
+			t.Fatalf("%s: area %.0f too far from target %.0f", spec.name, area, spec.targetArea)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		if n.Depth() < 4 {
+			t.Fatalf("%s: implausibly shallow (depth %d)", spec.name, n.Depth())
+		}
+	}
+}
+
+func TestISCASLikeDeterministic(t *testing.T) {
+	a, _ := ISCASLike("c880")
+	b, _ := ISCASLike("c880")
+	if a.Dump() != b.Dump() {
+		t.Fatal("same-name synthetic differs between calls")
+	}
+}
+
+func TestISCASLikeUnknown(t *testing.T) {
+	if _, err := ISCASLike("c9999"); err == nil {
+		t.Fatal("expected error for unknown circuit")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 15 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, name := range names {
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestMACExhaustiveSmall(t *testing.T) {
+	for _, width := range []int{1, 2, 3} {
+		n := MAC(width)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("MAC(%d): %v", width, err)
+		}
+		if n.NumInputs() != 4*width || n.NumOutputs() != 2*width+1 {
+			t.Fatalf("MAC(%d) I/O %d/%d", width, n.NumInputs(), n.NumOutputs())
+		}
+		maxOp := uint64(1) << uint(width)
+		maxC := uint64(1) << uint(2*width)
+		for a := uint64(0); a < maxOp; a++ {
+			for b := uint64(0); b < maxOp; b++ {
+				for c := uint64(0); c < maxC; c++ {
+					in := make([]bool, 4*width)
+					for i := 0; i < width; i++ {
+						in[i] = a>>uint(i)&1 == 1
+						in[width+i] = b>>uint(i)&1 == 1
+					}
+					for i := 0; i < 2*width; i++ {
+						in[2*width+i] = c>>uint(i)&1 == 1
+					}
+					out := sim.EvalOne(n, in)
+					var got uint64
+					for i, bit := range out {
+						if bit {
+							got |= 1 << uint(i)
+						}
+					}
+					if want := a*b + c; got != want {
+						t.Fatalf("MAC(%d): %d*%d+%d=%d got %d", width, a, b, c, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderExhaustive(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 4} {
+		n := Decoder(bits)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < 1<<uint(bits+1); m++ {
+			in := make([]bool, bits+1)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			en := in[bits]
+			selVal := m & (1<<uint(bits) - 1)
+			out := sim.EvalOne(n, in)
+			for line, bit := range out {
+				want := en && line == selVal
+				if bit != want {
+					t.Fatalf("DEC%d sel=%d en=%v line %d = %v", bits, selVal, en, line, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestAbsDiffExhaustive(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 4} {
+		n := AbsDiff(width)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		max := uint64(1) << uint(width)
+		for a := uint64(0); a < max; a++ {
+			for b := uint64(0); b < max; b++ {
+				got := evalUint(t, n, width, a, b, nil)
+				want := a - b
+				if b > a {
+					want = b - a
+				}
+				if got != want {
+					t.Fatalf("AbsDiff(%d): |%d-%d|=%d got %d", width, a, b, want, got)
+				}
+			}
+		}
+	}
+}

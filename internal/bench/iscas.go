@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"batchals/internal/cell"
+	"batchals/internal/circuit"
+)
+
+// iscasSpec describes a synthetic stand-in for an ISCAS85 circuit: the
+// original's I/O counts and an area target (in default-library units)
+// calibrated to the "original area" column of Table 3 of the paper.
+type iscasSpec struct {
+	name       string
+	in, out    int
+	targetArea float64
+	seed       int64
+}
+
+var iscasSpecs = []iscasSpec{
+	{"c880", 60, 26, 599, 880},
+	{"c1908", 33, 25, 1013, 1908},
+	{"c2670", 233, 140, 1434, 2670},
+	{"c3540", 50, 22, 1615, 3540},
+	{"c5315", 178, 123, 2432, 5315},
+	{"c7552", 207, 108, 2759, 7552},
+}
+
+// Synthetic generates a seeded random multi-level network with the given
+// I/O counts, growing gates until the default-library area reaches
+// targetArea. The generator biases fanin selection towards recent nodes
+// (depth) while keeping a share of long edges (reconvergent fanout), the
+// structural property that stresses the change propagation matrix.
+func Synthetic(name string, numIn, numOut int, targetArea float64, seed int64) *circuit.Network {
+	if numIn < 2 || numOut < 1 {
+		panic(fmt.Sprintf("bench: Synthetic needs >=2 inputs and >=1 output, got %d/%d", numIn, numOut))
+	}
+	r := rand.New(rand.NewSource(seed))
+	lib := cell.Default()
+	n := circuit.New(name)
+	pool := make([]circuit.NodeID, 0, numIn+int(targetArea))
+	for i := 0; i < numIn; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	kinds := []circuit.Kind{
+		circuit.KindNand, circuit.KindNand, circuit.KindNor, circuit.KindNor,
+		circuit.KindAnd, circuit.KindOr, circuit.KindXor, circuit.KindNot,
+	}
+	area := 0.0
+	pick := func() circuit.NodeID {
+		// 70%: recent window (locality / depth); 30%: anywhere (long,
+		// reconvergence-inducing edges).
+		if len(pool) > 16 && r.Intn(10) < 7 {
+			return pool[len(pool)-1-r.Intn(16)]
+		}
+		return pool[r.Intn(len(pool))]
+	}
+	for area < targetArea {
+		k := kinds[r.Intn(len(kinds))]
+		var id circuit.NodeID
+		if k == circuit.KindNot {
+			id = n.AddGate(k, pick())
+		} else {
+			f1 := pick()
+			f2 := pick()
+			for f2 == f1 {
+				f2 = pool[r.Intn(len(pool))]
+			}
+			if r.Intn(8) == 0 { // occasional 3-input gate
+				f3 := pool[r.Intn(len(pool))]
+				if f3 != f1 && f3 != f2 && k != circuit.KindXor {
+					id = n.AddGate(k, f1, f2, f3)
+				} else {
+					id = n.AddGate(k, f1, f2)
+				}
+			} else {
+				id = n.AddGate(k, f1, f2)
+			}
+		}
+		pool = append(pool, id)
+		area += lib.GateArea(k, len(n.Fanins(id)))
+	}
+	// Guarantee every input feeds something: sweep-proof the unused ones.
+	for _, in := range n.Inputs() {
+		if len(n.Fanouts(in)) == 0 {
+			other := pool[r.Intn(len(pool))]
+			for other == in {
+				other = pool[r.Intn(len(pool))]
+			}
+			pool = append(pool, n.AddGate(circuit.KindAnd, in, other))
+		}
+	}
+	// Outputs: distribute every fanout-free gate across numOut collector
+	// trees so no generated logic is dead. Each tree combines its roots
+	// with random 2-input gates, adding realistic output-cone overlap.
+	var roots []circuit.NodeID
+	for _, id := range pool {
+		if n.Kind(id).IsGate() && len(n.Fanouts(id)) == 0 {
+			roots = append(roots, id)
+		}
+	}
+	buckets := make([][]circuit.NodeID, numOut)
+	for i, root := range roots {
+		buckets[i%numOut] = append(buckets[i%numOut], root)
+	}
+	combine := []circuit.Kind{circuit.KindAnd, circuit.KindOr, circuit.KindXor, circuit.KindNand, circuit.KindNor}
+	for o := 0; o < numOut; o++ {
+		level := buckets[o]
+		if len(level) == 0 {
+			// Rare: fewer roots than outputs; tap an internal gate.
+			level = []circuit.NodeID{pool[len(pool)-1-r.Intn(len(pool)/2)]}
+		}
+		for len(level) > 1 {
+			var next []circuit.NodeID
+			for i := 0; i+1 < len(level); i += 2 {
+				k := combine[r.Intn(len(combine))]
+				next = append(next, n.AddGate(k, level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		n.AddOutput(fmt.Sprintf("o%d", o), level[0])
+	}
+	n.Sweep()
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: synthetic %s invalid: %v", name, err))
+	}
+	return n
+}
+
+// ISCASLike returns the synthetic stand-in for one of the six ISCAS85
+// circuits used in the paper: c880, c1908, c2670, c3540, c5315, c7552.
+func ISCASLike(name string) (*circuit.Network, error) {
+	for _, s := range iscasSpecs {
+		if s.name == name {
+			// Grow past the target slightly: sweeping dead logic removes
+			// some area, so overshoot then accept.
+			return Synthetic(s.name, s.in, s.out, s.targetArea, s.seed), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown ISCAS-like circuit %q", name)
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// MAC returns a multiply-accumulate unit: p = a*b + c with width-bit
+// operands a and b and a 2*width-bit addend c, producing 2*width+1 output
+// bits. A common DSP datapath and a natural AEM-constrained ALS target.
+func MAC(width int) *circuit.Network {
+	mustPositive("MAC", width)
+	n := circuit.New(fmt.Sprintf("MAC%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	c := addInputVector(n, "c", 2*width)
+
+	// Product via carry-save columns (same structure as MUL).
+	cols := partialProducts(n, a, b)
+	prod := make([]circuit.NodeID, 2*width)
+	for col := 0; col < 2*width; col++ {
+		for len(cols[col]) > 1 {
+			if len(cols[col]) >= 3 {
+				s, co := fullAdder(n, cols[col][0], cols[col][1], cols[col][2])
+				cols[col] = append(cols[col][3:], s)
+				cols[col+1] = append(cols[col+1], co)
+			} else {
+				s, co := halfAdder(n, cols[col][0], cols[col][1])
+				cols[col] = append(cols[col][2:], s)
+				cols[col+1] = append(cols[col+1], co)
+			}
+		}
+		if len(cols[col]) == 1 {
+			prod[col] = cols[col][0]
+		} else {
+			prod[col] = n.AddConst(false)
+		}
+	}
+
+	// Final addition prod + c, ripple style.
+	outs := make([]circuit.NodeID, 0, 2*width+1)
+	var carry circuit.NodeID = circuit.InvalidNode
+	for i := 0; i < 2*width; i++ {
+		if carry == circuit.InvalidNode {
+			s, co := halfAdder(n, prod[i], c[i])
+			outs = append(outs, s)
+			carry = co
+		} else {
+			s, co := fullAdder(n, prod[i], c[i], carry)
+			outs = append(outs, s)
+			carry = co
+		}
+	}
+	outs = append(outs, carry)
+	addOutputVector(n, "p", outs)
+	return n
+}
+
+// Decoder returns an n-to-2^n one-hot decoder with an enable input.
+func Decoder(selBits int) *circuit.Network {
+	mustPositive("Decoder", selBits)
+	if selBits > 6 {
+		panic("bench: Decoder wider than 6 select bits is unreasonable here")
+	}
+	n := circuit.New(fmt.Sprintf("DEC%d", selBits))
+	sel := addInputVector(n, "s", selBits)
+	en := n.AddInput("en")
+	inv := make([]circuit.NodeID, selBits)
+	for i, s := range sel {
+		inv[i] = n.AddGate(circuit.KindNot, s)
+	}
+	for line := 0; line < 1<<uint(selBits); line++ {
+		terms := make([]circuit.NodeID, 0, selBits+1)
+		for i := 0; i < selBits; i++ {
+			if line>>uint(i)&1 == 1 {
+				terms = append(terms, sel[i])
+			} else {
+				terms = append(terms, inv[i])
+			}
+		}
+		terms = append(terms, en)
+		n.AddOutput(fmt.Sprintf("y%d", line), n.AddGate(circuit.KindAnd, terms...))
+	}
+	return n
+}
+
+// AbsDiff returns |a - b| for width-bit unsigned operands: a subtractor,
+// a sign mux and a conditional negation — an error-tolerant image-
+// processing kernel (used by SAD motion estimation).
+func AbsDiff(width int) *circuit.Network {
+	mustPositive("AbsDiff", width)
+	n := circuit.New(fmt.Sprintf("ABSDIFF%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	// d = a + ~b + 1; borrow-free iff a >= b (carry out = 1).
+	diff := make([]circuit.NodeID, width)
+	carry := n.AddConst(true)
+	for i := 0; i < width; i++ {
+		nb := n.AddGate(circuit.KindNot, b[i])
+		s, co := fullAdder(n, a[i], nb, carry)
+		diff[i] = s
+		carry = co
+	}
+	// If carry==0 the result is negative: negate (two's complement).
+	neg := make([]circuit.NodeID, width)
+	c2 := n.AddConst(true)
+	for i := 0; i < width; i++ {
+		nd := n.AddGate(circuit.KindNot, diff[i])
+		s, co := halfAdder(n, nd, c2)
+		neg[i] = s
+		c2 = co
+	}
+	for i := 0; i < width; i++ {
+		n.AddOutput(fmt.Sprintf("d%d", i), n.AddGate(circuit.KindMux, carry, neg[i], diff[i]))
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// partialProducts builds the width x width AND matrix of a multiplier:
+// column c collects the bits a_i & b_j with i+j == c.
+func partialProducts(n *circuit.Network, a, b []circuit.NodeID) [][]circuit.NodeID {
+	width := len(a)
+	cols := make([][]circuit.NodeID, 2*width)
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			pp := n.AddGate(circuit.KindAnd, a[i], b[j])
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+	return cols
+}
+
+// MUL returns a width x width array multiplier: inputs a, b; outputs
+// p0..p(2w-1). The partial-product columns are reduced ripple-style, one
+// row at a time, mirroring the classic carry-save array structure. The
+// paper's MUL8 is MUL(8).
+func MUL(width int) *circuit.Network {
+	mustPositive("MUL", width)
+	n := circuit.New(fmt.Sprintf("MUL%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	cols := partialProducts(n, a, b)
+	// Sequentially add each remaining row with full adders, keeping one
+	// running sum per column (array reduction).
+	out := make([]circuit.NodeID, 2*width)
+	for c := 0; c < 2*width; c++ {
+		for len(cols[c]) > 1 {
+			if len(cols[c]) >= 3 {
+				s, co := fullAdder(n, cols[c][0], cols[c][1], cols[c][2])
+				cols[c] = append(cols[c][3:], s)
+				cols[c+1] = append(cols[c+1], co)
+			} else {
+				s, co := halfAdder(n, cols[c][0], cols[c][1])
+				cols[c] = append(cols[c][2:], s)
+				cols[c+1] = append(cols[c+1], co)
+			}
+		}
+		if len(cols[c]) == 1 {
+			out[c] = cols[c][0]
+		} else {
+			out[c] = n.AddConst(false)
+		}
+	}
+	addOutputVector(n, "p", out)
+	return n
+}
+
+// WTM returns a width x width Wallace-tree multiplier: the partial-product
+// columns are compressed in parallel layers of 3:2 and 2:2 counters until
+// every column holds at most two bits, and a final ripple-carry adder
+// produces the product. The paper's WTM8 is WTM(8).
+func WTM(width int) *circuit.Network {
+	mustPositive("WTM", width)
+	n := circuit.New(fmt.Sprintf("WTM%d", width))
+	a := addInputVector(n, "a", width)
+	b := addInputVector(n, "b", width)
+	cols := partialProducts(n, a, b)
+
+	// Wallace reduction: in each layer, greedily compress every column.
+	for maxHeight(cols) > 2 {
+		next := make([][]circuit.NodeID, len(cols))
+		for c := 0; c < len(cols); c++ {
+			col := cols[c]
+			for len(col) >= 3 {
+				s, co := fullAdder(n, col[0], col[1], col[2])
+				col = col[3:]
+				next[c] = append(next[c], s)
+				next[c+1] = append(next[c+1], co)
+			}
+			if len(col) == 2 && len(cols[c]) > 2 {
+				s, co := halfAdder(n, col[0], col[1])
+				col = col[2:]
+				next[c] = append(next[c], s)
+				next[c+1] = append(next[c+1], co)
+			}
+			next[c] = append(next[c], col...)
+		}
+		cols = next
+	}
+
+	// Final carry-propagate addition of the two remaining rows.
+	out := make([]circuit.NodeID, 2*width)
+	var carry circuit.NodeID = circuit.InvalidNode
+	for c := 0; c < 2*width; c++ {
+		col := cols[c]
+		switch {
+		case len(col) == 0:
+			if carry != circuit.InvalidNode {
+				out[c] = carry
+				carry = circuit.InvalidNode
+			} else {
+				out[c] = n.AddConst(false)
+			}
+		case len(col) == 1:
+			if carry != circuit.InvalidNode {
+				s, co := halfAdder(n, col[0], carry)
+				out[c], carry = s, co
+			} else {
+				out[c] = col[0]
+			}
+		default: // 2 bits
+			if carry != circuit.InvalidNode {
+				s, co := fullAdder(n, col[0], col[1], carry)
+				out[c], carry = s, co
+			} else {
+				s, co := halfAdder(n, col[0], col[1])
+				out[c], carry = s, co
+			}
+		}
+	}
+	addOutputVector(n, "p", out)
+	return n
+}
+
+func maxHeight(cols [][]circuit.NodeID) int {
+	h := 0
+	for _, c := range cols {
+		if len(c) > h {
+			h = len(c)
+		}
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"batchals/internal/circuit"
+)
+
+// registry maps canonical benchmark names to their generators.
+var registry = map[string]func() *circuit.Network{
+	"rca8":  func() *circuit.Network { return RCA(8) },
+	"rca16": func() *circuit.Network { return RCA(16) },
+	"rca32": func() *circuit.Network { return RCA(32) },
+	"cla32": func() *circuit.Network { return CLA(32) },
+	"ksa32": func() *circuit.Network { return KSA(32) },
+	"mul4":  func() *circuit.Network { return MUL(4) },
+	"mul8":  func() *circuit.Network { return MUL(8) },
+	"wtm4":  func() *circuit.Network { return WTM(4) },
+	"wtm8":  func() *circuit.Network { return WTM(8) },
+	"alu4":  ALU4,
+	"cmp8":  func() *circuit.Network { return Comparator(8) },
+	"par16": func() *circuit.Network { return Parity(16) },
+	"mac4":  func() *circuit.Network { return MAC(4) },
+	"mac8":  func() *circuit.Network { return MAC(8) },
+	"dec4":  func() *circuit.Network { return Decoder(4) },
+	"absd8": func() *circuit.Network { return AbsDiff(8) },
+	"c880":  mustISCAS("c880"),
+	"c1908": mustISCAS("c1908"),
+	"c2670": mustISCAS("c2670"),
+	"c3540": mustISCAS("c3540"),
+	"c5315": mustISCAS("c5315"),
+	"c7552": mustISCAS("c7552"),
+}
+
+func mustISCAS(name string) func() *circuit.Network {
+	return func() *circuit.Network {
+		n, err := ISCASLike(name)
+		if err != nil {
+			panic(err)
+		}
+		return n
+	}
+}
+
+// ByName builds the named benchmark circuit. Names returns the full list.
+func ByName(name string) (*circuit.Network, error) {
+	gen, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q (known: %v)", name, Names())
+	}
+	return gen(), nil
+}
+
+// Names returns all registered benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,365 @@
+// Package benchfmt reads and writes the ISCAS89/85-style ".bench" netlist
+// format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(f)
+//	n1 = AND(a, b)
+//	f  = NOT(n1)
+//
+// Supported gate operators: AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF,
+// MUX (3 operands: sel, d0, d1), and the constants CONST0/CONST1 (also
+// accepted as GND/VDD with no operands). An OUTPUT may name any signal.
+// This is the loader for real ISCAS85 circuits if the user has them; the
+// rest of the library only needs the in-memory generators.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"batchals/internal/circuit"
+)
+
+// Parse reads a .bench netlist into a Network.
+func Parse(r io.Reader, name string) (*circuit.Network, error) {
+	type rawGate struct {
+		out  string
+		op   string
+		args []string
+		line int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		gates   []rawGate
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			arg, err := directiveArg(line, "INPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, arg)
+		case matchDirective(line, "OUTPUT"):
+			arg, err := directiveArg(line, "OUTPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("benchfmt: line %d: expected assignment: %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("benchfmt: line %d: malformed gate: %q", lineNo, line)
+			}
+			op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			argStr := strings.TrimSpace(rhs[open+1 : close])
+			var args []string
+			if argStr != "" {
+				for _, a := range strings.Split(argStr, ",") {
+					args = append(args, strings.TrimSpace(a))
+				}
+			}
+			gates = append(gates, rawGate{out: out, op: op, args: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+
+	n := circuit.New(name)
+	ids := make(map[string]circuit.NodeID, len(inputs)+len(gates))
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("benchfmt: duplicate input %q", in)
+		}
+		ids[in] = n.AddInput(in)
+	}
+
+	// Gates may be declared in any order; resolve iteratively.
+	pending := gates
+	for len(pending) > 0 {
+		progress := false
+		var next []rawGate
+		for _, g := range pending {
+			ready := true
+			for _, a := range g.args {
+				if _, ok := ids[a]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			id, err := buildGate(n, g.op, g.args, ids, g.line)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := ids[g.out]; dup {
+				return nil, fmt.Errorf("benchfmt: line %d: signal %q defined twice", g.line, g.out)
+			}
+			n.SetName(id, g.out)
+			ids[g.out] = id
+			progress = true
+		}
+		if !progress {
+			var missing []string
+			for _, g := range next {
+				for _, a := range g.args {
+					if _, ok := ids[a]; !ok {
+						missing = append(missing, a)
+					}
+				}
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("benchfmt: unresolved signals (cycle or undeclared): %v", dedup(missing))
+		}
+		pending = next
+	}
+
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: OUTPUT(%s) names an undefined signal", out)
+		}
+		n.AddOutput(out, id)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsed netlist invalid: %w", err)
+	}
+	return n, nil
+}
+
+func buildGate(n *circuit.Network, op string, args []string, ids map[string]circuit.NodeID, line int) (circuit.NodeID, error) {
+	fanins := make([]circuit.NodeID, len(args))
+	for i, a := range args {
+		fanins[i] = ids[a]
+	}
+	var kind circuit.Kind
+	switch op {
+	case "AND":
+		kind = circuit.KindAnd
+	case "OR":
+		kind = circuit.KindOr
+	case "NAND":
+		kind = circuit.KindNand
+	case "NOR":
+		kind = circuit.KindNor
+	case "XOR":
+		kind = circuit.KindXor
+	case "XNOR":
+		kind = circuit.KindXnor
+	case "NOT", "INV":
+		kind = circuit.KindNot
+	case "BUF", "BUFF":
+		kind = circuit.KindBuf
+	case "MUX":
+		kind = circuit.KindMux
+	case "CONST0", "GND":
+		if len(args) != 0 {
+			return 0, fmt.Errorf("benchfmt: line %d: %s takes no operands", line, op)
+		}
+		return n.AddConst(false), nil
+	case "CONST1", "VDD":
+		if len(args) != 0 {
+			return 0, fmt.Errorf("benchfmt: line %d: %s takes no operands", line, op)
+		}
+		return n.AddConst(true), nil
+	default:
+		return 0, fmt.Errorf("benchfmt: line %d: unknown operator %q", line, op)
+	}
+	// Tolerate 1-input AND/OR etc. as buffers, which some dumps contain.
+	if len(fanins) == 1 && (kind == circuit.KindAnd || kind == circuit.KindOr) {
+		kind = circuit.KindBuf
+	}
+	if len(fanins) == 1 && (kind == circuit.KindNand || kind == circuit.KindNor) {
+		kind = circuit.KindNot
+	}
+	if !kind.ArityOK(len(fanins)) {
+		return 0, fmt.Errorf("benchfmt: line %d: %s cannot take %d operands", line, op, len(fanins))
+	}
+	return n.AddGate(kind, fanins...), nil
+}
+
+func matchDirective(line, dir string) bool {
+	u := strings.ToUpper(line)
+	return strings.HasPrefix(u, dir+"(") || strings.HasPrefix(u, dir+" ")
+}
+
+func directiveArg(line, dir string, lineNo int) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("benchfmt: line %d: malformed %s", lineNo, dir)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("benchfmt: line %d: empty %s", lineNo, dir)
+	}
+	return arg, nil
+}
+
+func dedup(s []string) []string {
+	var out []string
+	for i, x := range s {
+		if i == 0 || s[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Write renders the network in .bench format. Node names are made unique
+// and file-safe automatically; outputs keep their port names.
+func Write(w io.Writer, n *circuit.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s  (%d inputs, %d outputs, %d gates)\n",
+		n.Name, n.NumInputs(), n.NumOutputs(), n.NumGates())
+
+	names, used := exportNames(n)
+	for _, in := range n.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", names[in])
+	}
+	// A primary output port is a named alias of its driver signal; emit a
+	// BUF when the port name differs from the driver's. Alias ports share
+	// the signal namespace, so register them in used.
+	type alias struct{ port, sig string }
+	var aliases []alias
+	for _, o := range n.Outputs() {
+		port := names[o.Node]
+		if sanitizeName(o.Name) == port {
+			// Driver already carries the port name: direct reference.
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", port)
+			continue
+		}
+		want := sanitizeName(o.Name)
+		if want == "" || used[want] {
+			base := "po_" + port
+			want = base
+			for i := 2; used[want]; i++ {
+				want = fmt.Sprintf("%s_%d", base, i)
+			}
+		}
+		used[want] = true
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", want)
+		aliases = append(aliases, alias{port: want, sig: port})
+	}
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == circuit.KindInput {
+			continue
+		}
+		op, ok := opName(kind)
+		if !ok {
+			return fmt.Errorf("benchfmt: cannot export kind %v", kind)
+		}
+		args := make([]string, len(n.Fanins(id)))
+		for i, f := range n.Fanins(id) {
+			args[i] = names[f]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", names[id], op, strings.Join(args, ", "))
+	}
+	for _, a := range aliases {
+		fmt.Fprintf(bw, "%s = BUF(%s)\n", a.port, a.sig)
+	}
+	return bw.Flush()
+}
+
+func opName(k circuit.Kind) (string, bool) {
+	switch k {
+	case circuit.KindAnd:
+		return "AND", true
+	case circuit.KindOr:
+		return "OR", true
+	case circuit.KindNand:
+		return "NAND", true
+	case circuit.KindNor:
+		return "NOR", true
+	case circuit.KindXor:
+		return "XOR", true
+	case circuit.KindXnor:
+		return "XNOR", true
+	case circuit.KindNot:
+		return "NOT", true
+	case circuit.KindBuf:
+		return "BUF", true
+	case circuit.KindMux:
+		return "MUX", true
+	case circuit.KindConst0:
+		return "CONST0", true
+	case circuit.KindConst1:
+		return "CONST1", true
+	}
+	return "", false
+}
+
+// sanitizeName maps a node name to the .bench-safe character set.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// exportNames assigns a unique, non-empty file-safe name to every live
+// node. Output drivers get first claim on their port names so OUTPUT
+// directives can reference them directly. The used-name set is returned so
+// the caller can allocate further names in the same namespace.
+func exportNames(n *circuit.Network) (map[circuit.NodeID]string, map[string]bool) {
+	names := make(map[circuit.NodeID]string, n.NumNodes())
+	used := map[string]bool{}
+	assign := func(id circuit.NodeID, want string) {
+		if want == "" || used[want] {
+			base := want
+			if base == "" {
+				base = fmt.Sprintf("n%d", id)
+			}
+			want = base
+			for i := 2; used[want]; i++ {
+				want = fmt.Sprintf("%s_%d", base, i)
+			}
+		}
+		used[want] = true
+		names[id] = want
+	}
+	for _, o := range n.Outputs() {
+		if _, done := names[o.Node]; done {
+			continue
+		}
+		port := sanitizeName(o.Name)
+		if port != "" && !used[port] {
+			assign(o.Node, port)
+		}
+	}
+	for _, id := range n.LiveNodes() {
+		if _, done := names[id]; done {
+			continue
+		}
+		assign(id, sanitizeName(n.NameOf(id)))
+	}
+	return names, used
+}

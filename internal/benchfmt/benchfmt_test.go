@@ -1,0 +1,175 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/circuit"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+const sample = `
+# a tiny sample
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(g)
+t1 = AND(a, b)
+t2 = NOT(c)
+f  = OR(t1, t2)
+g  = XOR(a, c)
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := Parse(strings.NewReader(sample), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumInputs() != 3 || n.NumOutputs() != 2 || n.NumGates() != 4 {
+		t.Fatalf("parsed shape wrong: %s", n.Stats())
+	}
+	// f(1,1,1) = OR(AND(1,1), NOT(1)) = 1; g = XOR(1,1) = 0
+	out := sim.EvalOne(n, []bool{true, true, true})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("behaviour wrong: %v", out)
+	}
+}
+
+func TestParseOutOfOrderDefinitions(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = OR(t1, t2)
+t2 = NOT(b)
+t1 = AND(a, b)
+`
+	n, err := Parse(strings.NewReader(src), "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumGates() != 3 {
+		t.Fatalf("gates=%d", n.NumGates())
+	}
+}
+
+func TestParseConstsAndMux(t *testing.T) {
+	src := `
+INPUT(s)
+INPUT(d)
+OUTPUT(y)
+one = CONST1()
+y = MUX(s, d, one)
+`
+	n, err := Parse(strings.NewReader(src), "mux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.EvalOne(n, []bool{true, false})[0]; got != true {
+		t.Fatal("mux sel=1 must pick const1")
+	}
+	if got := sim.EvalOne(n, []bool{false, false})[0]; got != false {
+		t.Fatal("mux sel=0 must pick d")
+	}
+}
+
+func TestParseSingleInputAndAsBuf(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = AND(a)
+`
+	n, err := Parse(strings.NewReader(src), "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind(n.FindByName("y")) != circuit.KindBuf {
+		t.Fatal("1-input AND should degrade to BUF")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined output", "INPUT(a)\nOUTPUT(zz)\nf = NOT(a)\n"},
+		{"unknown op", "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = NOT(f)\n"},
+		{"double definition", "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\nf = BUF(a)\n"},
+		{"malformed", "INPUT(a)\nOUTPUT(f)\nf NOT a\n"},
+		{"bad arity", "INPUT(a)\nOUTPUT(f)\nf = MUX(a, a)\n"},
+		{"duplicate input", "INPUT(a)\nINPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src), c.name); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRoundTripPreservesBehaviour(t *testing.T) {
+	for _, name := range []string{"rca8", "mul4", "alu4", "cmp8"} {
+		orig, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()), name)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", name, err, buf.String())
+		}
+		if back.NumInputs() != orig.NumInputs() || back.NumOutputs() != orig.NumOutputs() {
+			t.Fatalf("%s: I/O changed", name)
+		}
+		rep := emetric.Measure(orig, back, sim.RandomPatterns(orig.NumInputs(), 2000, 77))
+		if rep.ErrorRate != 0 {
+			t.Fatalf("%s: round trip changed behaviour, ER=%v", name, rep.ErrorRate)
+		}
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	orig, err := bench.ISCASLike("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := emetric.Measure(orig, back, sim.RandomPatterns(orig.NumInputs(), 1000, 5))
+	if rep.ErrorRate != 0 {
+		t.Fatalf("round trip changed behaviour, ER=%v", rep.ErrorRate)
+	}
+}
+
+func TestWriteDisambiguatesDuplicateNames(t *testing.T) {
+	n := circuit.New("dup")
+	a := n.AddInput("x")
+	g1 := n.AddGate(circuit.KindNot, a)
+	g2 := n.AddGate(circuit.KindBuf, g1)
+	n.SetName(g1, "sig")
+	n.SetName(g2, "sig") // collision on purpose
+	n.AddOutput("sig", g2)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "dup")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	rep := emetric.MeasureExact(n, back)
+	if rep.ErrorRate != 0 {
+		t.Fatal("behaviour changed")
+	}
+}

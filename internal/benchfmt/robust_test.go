@@ -1,0 +1,53 @@
+package benchfmt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics: arbitrary garbage must produce an error or a valid
+// network, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	pieces := []string{
+		"INPUT(", ")", "OUTPUT(", "=", "AND", "OR(", "a", "b", ",", "\n",
+		"#", "x1", "NOT", "MUX", "CONST1", " ", "\t", "(", "G17", "BUFF",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		for i := 0; i < r.Intn(60); i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v\ninput: %q", trial, p, sb.String())
+				}
+			}()
+			n, err := Parse(strings.NewReader(sb.String()), "fuzz")
+			if err == nil && n.Validate() != nil {
+				t.Fatalf("trial %d: accepted invalid network", trial)
+			}
+		}()
+	}
+}
+
+// TestParseRandomBytes: pure random bytes never panic either.
+func TestParseRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		buf := make([]byte, r.Intn(400))
+		for i := range buf {
+			buf[i] = byte(r.Intn(256))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			_, _ = Parse(strings.NewReader(string(buf)), "fuzz")
+		}()
+	}
+}

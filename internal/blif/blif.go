@@ -1,0 +1,446 @@
+// Package blif reads and writes a practical subset of the Berkeley Logic
+// Interchange Format: .model / .inputs / .outputs / .names (single-output
+// SOP covers) / .end, the subset SIS and ABC emit for combinational
+// circuits. Each .names cover is converted to AND/OR/NOT structure.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"batchals/internal/circuit"
+)
+
+// cover is one .names block: an SOP over the listed input signals.
+type cover struct {
+	inputs []string
+	output string
+	// rows are cube/value pairs: cube like "1-0", value '1' or '0'.
+	cubes  []string
+	values []byte
+	line   int
+}
+
+// Parse reads a BLIF model into a Network. Only the first .model in the
+// stream is read; .latch, .subckt and .gate are rejected (the library is
+// purely combinational and unmapped).
+func Parse(r io.Reader) (*circuit.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var (
+		modelName string
+		inputs    []string
+		outputs   []string
+		covers    []*cover
+		current   *cover
+		lineNo    int
+	)
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = strings.TrimSpace(line[:i])
+			}
+			if line == "" {
+				continue
+			}
+			// Continuation lines.
+			for strings.HasSuffix(line, "\\") && sc.Scan() {
+				lineNo++
+				line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(sc.Text())
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	for {
+		line, ok := readLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".model"):
+			if modelName != "" {
+				// Second model: stop at the first.
+				goto done
+			}
+			if len(fields) > 1 {
+				modelName = fields[1]
+			} else {
+				modelName = "blif"
+			}
+		case strings.HasPrefix(line, ".inputs"):
+			inputs = append(inputs, fields[1:]...)
+			current = nil
+		case strings.HasPrefix(line, ".outputs"):
+			outputs = append(outputs, fields[1:]...)
+			current = nil
+		case strings.HasPrefix(line, ".names"):
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+			}
+			current = &cover{
+				inputs: fields[1 : len(fields)-1],
+				output: fields[len(fields)-1],
+				line:   lineNo,
+			}
+			covers = append(covers, current)
+		case strings.HasPrefix(line, ".end"):
+			goto done
+		case strings.HasPrefix(line, ".latch"), strings.HasPrefix(line, ".subckt"),
+			strings.HasPrefix(line, ".gate"), strings.HasPrefix(line, ".mlatch"):
+			return nil, fmt.Errorf("blif: line %d: unsupported construct %s", lineNo, fields[0])
+		case strings.HasPrefix(line, "."):
+			// Ignore other dot-directives (.default_input_arrival etc.).
+			current = nil
+		default:
+			if current == nil {
+				return nil, fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
+			}
+			if len(current.inputs) == 0 {
+				// Constant: single column "1" or "0".
+				if len(fields) != 1 || (fields[0] != "1" && fields[0] != "0") {
+					return nil, fmt.Errorf("blif: line %d: bad constant row %q", lineNo, line)
+				}
+				current.cubes = append(current.cubes, "")
+				current.values = append(current.values, fields[0][0])
+				continue
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("blif: line %d: bad cover row %q", lineNo, line)
+			}
+			if len(fields[0]) != len(current.inputs) {
+				return nil, fmt.Errorf("blif: line %d: cube width %d != %d inputs",
+					lineNo, len(fields[0]), len(current.inputs))
+			}
+			current.cubes = append(current.cubes, fields[0])
+			current.values = append(current.values, fields[1][0])
+		}
+	}
+done:
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	if modelName == "" {
+		return nil, fmt.Errorf("blif: no .model found")
+	}
+	return build(modelName, inputs, outputs, covers)
+}
+
+func build(modelName string, inputs, outputs []string, covers []*cover) (*circuit.Network, error) {
+	n := circuit.New(modelName)
+	ids := make(map[string]circuit.NodeID)
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		ids[in] = n.AddInput(in)
+	}
+	// Iteratively resolve covers (BLIF allows any order).
+	pending := covers
+	for len(pending) > 0 {
+		progress := false
+		var next []*cover
+		for _, c := range pending {
+			ready := true
+			for _, in := range c.inputs {
+				if _, ok := ids[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, c)
+				continue
+			}
+			id, err := buildCover(n, c, ids)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := ids[c.output]; dup {
+				return nil, fmt.Errorf("blif: line %d: signal %q defined twice", c.line, c.output)
+			}
+			n.SetName(id, c.output)
+			ids[c.output] = id
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: unresolved covers (cycle or undeclared signal)")
+		}
+		pending = next
+	}
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undefined", out)
+		}
+		n.AddOutput(out, id)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("blif: parsed netlist invalid: %w", err)
+	}
+	return n, nil
+}
+
+// buildCover converts one SOP cover to gates. The on-set (value '1') rows
+// become an OR of cube-ANDs; a cover of only '0' rows is the complement of
+// the corresponding on-set; an empty cover is constant 0.
+func buildCover(n *circuit.Network, c *cover, ids map[string]circuit.NodeID) (circuit.NodeID, error) {
+	if len(c.cubes) == 0 {
+		return n.AddConst(false), nil
+	}
+	onVal := byte('1')
+	allZero := true
+	for _, v := range c.values {
+		if v == '1' {
+			allZero = false
+		} else if v != '0' {
+			return 0, fmt.Errorf("blif: line %d: bad cover value %q", c.line, string(v))
+		}
+	}
+	complement := false
+	if allZero {
+		// Cover lists the off-set: build it, then invert.
+		onVal = '0'
+		complement = true
+	}
+	if len(c.inputs) == 0 {
+		// Constant cover.
+		v := c.values[0] == '1'
+		return n.AddConst(v), nil
+	}
+
+	inverted := make(map[circuit.NodeID]circuit.NodeID)
+	litFor := func(sig circuit.NodeID, neg bool) circuit.NodeID {
+		if !neg {
+			return sig
+		}
+		if inv, ok := inverted[sig]; ok {
+			return inv
+		}
+		inv := n.AddGate(circuit.KindNot, sig)
+		inverted[sig] = inv
+		return inv
+	}
+	var terms []circuit.NodeID
+	for i, cube := range c.cubes {
+		if c.values[i] != onVal {
+			continue
+		}
+		var lits []circuit.NodeID
+		for j, ch := range cube {
+			switch ch {
+			case '1':
+				lits = append(lits, litFor(ids[c.inputs[j]], false))
+			case '0':
+				lits = append(lits, litFor(ids[c.inputs[j]], true))
+			case '-':
+			default:
+				return 0, fmt.Errorf("blif: line %d: bad cube char %q", c.line, string(ch))
+			}
+		}
+		var term circuit.NodeID
+		switch len(lits) {
+		case 0:
+			term = n.AddConst(true) // tautology cube
+		case 1:
+			term = lits[0]
+		default:
+			term = n.AddGate(circuit.KindAnd, lits...)
+		}
+		terms = append(terms, term)
+	}
+	var out circuit.NodeID
+	switch len(terms) {
+	case 0:
+		out = n.AddConst(false)
+	case 1:
+		out = terms[0]
+	default:
+		out = n.AddGate(circuit.KindOr, terms...)
+	}
+	if complement {
+		out = n.AddGate(circuit.KindNot, out)
+	}
+	// The cover output must be a distinct node so it can carry its own
+	// name; wrap bare signals in a BUF.
+	if !n.Kind(out).IsGate() || nameTaken(n, out) {
+		out = n.AddGate(circuit.KindBuf, out)
+	}
+	return out, nil
+}
+
+// nameTaken reports whether node id already carries a signal name (it was
+// produced for another cover or is an input), so reusing it would clobber.
+func nameTaken(n *circuit.Network, id circuit.NodeID) bool {
+	return n.Node(id).Name != ""
+}
+
+// Write renders the network as a BLIF model, one .names block per gate.
+func Write(w io.Writer, n *circuit.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", safeModelName(n.Name))
+	names := uniqueNames(n)
+
+	fmt.Fprintf(bw, ".inputs")
+	for _, in := range n.Inputs() {
+		fmt.Fprintf(bw, " %s", names[in])
+	}
+	fmt.Fprintln(bw)
+
+	// Output ports: reuse driver names; alias via a BUF cover if a port
+	// name collides or differs.
+	type alias struct{ port, sig string }
+	var aliases []alias
+	usedPorts := map[string]bool{}
+	fmt.Fprintf(bw, ".outputs")
+	for _, o := range n.Outputs() {
+		port := o.Name
+		if port == "" || usedPorts[port] {
+			port = "po_" + names[o.Node]
+			for i := 2; usedPorts[port]; i++ {
+				port = fmt.Sprintf("po_%s_%d", names[o.Node], i)
+			}
+		}
+		usedPorts[port] = true
+		fmt.Fprintf(bw, " %s", port)
+		if port != names[o.Node] {
+			aliases = append(aliases, alias{port, names[o.Node]})
+		}
+	}
+	fmt.Fprintln(bw)
+
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == circuit.KindInput {
+			continue
+		}
+		if err := writeCover(bw, n, id, names); err != nil {
+			return err
+		}
+	}
+	for _, a := range aliases {
+		fmt.Fprintf(bw, ".names %s %s\n1 1\n", a.sig, a.port)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeCover(w io.Writer, n *circuit.Network, id circuit.NodeID, names map[circuit.NodeID]string) error {
+	kind := n.Kind(id)
+	fanins := n.Fanins(id)
+	fmt.Fprintf(w, ".names")
+	for _, f := range fanins {
+		fmt.Fprintf(w, " %s", names[f])
+	}
+	fmt.Fprintf(w, " %s\n", names[id])
+	k := len(fanins)
+	ones := strings.Repeat("1", k)
+	zeros := strings.Repeat("0", k)
+	switch kind {
+	case circuit.KindConst0:
+		// Empty cover = constant 0: emit nothing.
+	case circuit.KindConst1:
+		fmt.Fprintln(w, "1")
+	case circuit.KindBuf:
+		fmt.Fprintln(w, "1 1")
+	case circuit.KindNot:
+		fmt.Fprintln(w, "0 1")
+	case circuit.KindAnd:
+		fmt.Fprintf(w, "%s 1\n", ones)
+	case circuit.KindNand:
+		fmt.Fprintf(w, "%s 0\n", ones)
+	case circuit.KindOr:
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(w, "%s 1\n", cubeWithOne(k, i, '1'))
+		}
+	case circuit.KindNor:
+		fmt.Fprintf(w, "%s 1\n", zeros)
+	case circuit.KindXor, circuit.KindXnor:
+		// Enumerate parity minterms; gate arity is small in practice.
+		if k > 16 {
+			return fmt.Errorf("blif: refusing to expand %d-input %v", k, kind)
+		}
+		wantOdd := kind == circuit.KindXor
+		for m := 0; m < 1<<uint(k); m++ {
+			if oddParity(m) != wantOdd {
+				continue
+			}
+			var sb strings.Builder
+			for b := 0; b < k; b++ {
+				if m>>uint(b)&1 == 1 {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			fmt.Fprintf(w, "%s 1\n", sb.String())
+		}
+	case circuit.KindMux:
+		fmt.Fprintln(w, "01- 1")
+		fmt.Fprintln(w, "1-1 1")
+	default:
+		return fmt.Errorf("blif: cannot export kind %v", kind)
+	}
+	return nil
+}
+
+func cubeWithOne(k, pos int, ch byte) string {
+	b := []byte(strings.Repeat("-", k))
+	b[pos] = ch
+	return string(b)
+}
+
+func oddParity(m int) bool {
+	p := false
+	for m != 0 {
+		p = !p
+		m &= m - 1
+	}
+	return p
+}
+
+func safeModelName(s string) string {
+	if s == "" {
+		return "model"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// uniqueNames mirrors benchfmt's exporter: every live node gets a unique
+// non-empty name, with output drivers keeping their port names if free.
+func uniqueNames(n *circuit.Network) map[circuit.NodeID]string {
+	names := make(map[circuit.NodeID]string, n.NumNodes())
+	used := map[string]bool{}
+	assign := func(id circuit.NodeID, want string) {
+		if want == "" || used[want] {
+			base := want
+			if base == "" {
+				base = fmt.Sprintf("n%d", id)
+			}
+			want = base
+			for i := 2; used[want]; i++ {
+				want = fmt.Sprintf("%s_%d", base, i)
+			}
+		}
+		used[want] = true
+		names[id] = want
+	}
+	for _, o := range n.Outputs() {
+		if _, done := names[o.Node]; !done && o.Name != "" && !used[o.Name] {
+			assign(o.Node, o.Name)
+		}
+	}
+	for _, id := range n.LiveNodes() {
+		if _, done := names[id]; !done {
+			assign(id, n.Node(id).Name)
+		}
+	}
+	return names
+}

@@ -1,0 +1,169 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+const sampleBlif = `
+# sample
+.model toy
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names c t2
+0 1
+.names t1 t2 f
+1- 1
+-1 1
+.names a c g
+10 1
+01 1
+.end
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := Parse(strings.NewReader(sampleBlif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "toy" || n.NumInputs() != 3 || n.NumOutputs() != 2 {
+		t.Fatalf("shape wrong: %s", n.Stats())
+	}
+	// f = ab + !c; g = a xor c.
+	cases := []struct {
+		in   []bool
+		f, g bool
+	}{
+		{[]bool{false, false, false}, true, false},
+		{[]bool{true, true, true}, true, false},
+		{[]bool{true, false, true}, false, false},
+		{[]bool{true, false, false}, true, true},
+		{[]bool{false, false, true}, false, true},
+	}
+	for _, c := range cases {
+		out := sim.EvalOne(n, c.in)
+		if out[0] != c.f || out[1] != c.g {
+			t.Fatalf("in=%v out=%v want f=%v g=%v", c.in, out, c.f, c.g)
+		}
+	}
+}
+
+func TestParseOffsetCover(t *testing.T) {
+	// Cover given as off-set rows (output column 0): f is NOT(a AND b).
+	src := `
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			want := !(a == 1 && b == 1)
+			if got := sim.EvalOne(n, []bool{a == 1, b == 1})[0]; got != want {
+				t.Fatalf("offset cover wrong at %d%d", a, b)
+			}
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero gated
+.names one
+1
+.names zero
+.names a one gated
+11 1
+.end
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sim.EvalOne(n, []bool{true})
+	if out[0] != true || out[1] != false || out[2] != true {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no model", ".inputs a\n.outputs f\n.names a f\n1 1\n.end\n"},
+		{"latch", ".model m\n.inputs a\n.outputs f\n.latch a f 0\n.end\n"},
+		{"bad cube width", ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n"},
+		{"undefined output", ".model m\n.inputs a\n.outputs zz\n.names a f\n1 1\n.end\n"},
+		{"row outside names", ".model m\n.inputs a\n.outputs f\n11 1\n.end\n"},
+		{"cycle", ".model m\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRoundTripBehaviour(t *testing.T) {
+	for _, name := range []string{"rca8", "mul4", "alu4", "cmp8", "par16"} {
+		orig, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		rep := emetric.Measure(orig, back, sim.RandomPatterns(orig.NumInputs(), 2000, 11))
+		if rep.ErrorRate != 0 {
+			t.Fatalf("%s: behaviour changed, ER=%v", name, rep.ErrorRate)
+		}
+	}
+}
+
+func TestRoundTripISCASLike(t *testing.T) {
+	orig, err := bench.ISCASLike("c1908")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := emetric.Measure(orig, back, sim.RandomPatterns(orig.NumInputs(), 1000, 13))
+	if rep.ErrorRate != 0 {
+		t.Fatalf("behaviour changed, ER=%v", rep.ErrorRate)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumInputs() != 2 {
+		t.Fatalf("continuation line not joined: %d inputs", n.NumInputs())
+	}
+}

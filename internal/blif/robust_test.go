@@ -1,0 +1,35 @@
+package blif
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics: arbitrary dot-directive soup must produce an error
+// or a valid network, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	pieces := []string{
+		".model", ".inputs", ".outputs", ".names", ".end", "m", "a b", "f",
+		"1- 1", "0 1", "11 1", "\n", " ", "\\\n", "#c", "1", "-", ".latch",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		for i := 0; i < r.Intn(50); i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v\ninput: %q", trial, p, sb.String())
+				}
+			}()
+			n, err := Parse(strings.NewReader(sb.String()))
+			if err == nil && n.Validate() != nil {
+				t.Fatalf("trial %d: accepted invalid network", trial)
+			}
+		}()
+	}
+}

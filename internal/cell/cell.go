@@ -1,0 +1,122 @@
+// Package cell provides a small technology library: per-gate area and delay
+// figures used to cost a circuit.Network. It stands in for the SIS
+// technology-mapping step of the paper; the paper's flow only needs a
+// consistent area metric (gate downsizing is explicitly not modelled there
+// either) and a delay metric to guarantee that substitutions never slow the
+// circuit down.
+package cell
+
+import "batchals/internal/circuit"
+
+// Library maps gate kinds to area and delay. The zero value is unusable;
+// use Default or construct all fields.
+type Library struct {
+	// Area2 is the area of a 2-input gate of each kind (or of the single
+	// gate for 1-input kinds). N-ary gates are costed as a balanced tree of
+	// 2-input gates: (arity-1) * Area2.
+	Area2 map[circuit.Kind]float64
+	// Delay is the unit propagation delay per gate instance of each kind.
+	Delay map[circuit.Kind]float64
+}
+
+// Default returns a library with MCNC-genlib-flavoured relative areas
+// (inverter = 1) and unit delays per logic level.
+func Default() *Library {
+	return &Library{
+		Area2: map[circuit.Kind]float64{
+			circuit.KindBuf:  1,
+			circuit.KindNot:  1,
+			circuit.KindNand: 2,
+			circuit.KindNor:  2,
+			circuit.KindAnd:  3,
+			circuit.KindOr:   3,
+			circuit.KindXor:  5,
+			circuit.KindXnor: 5,
+			circuit.KindMux:  5,
+		},
+		Delay: map[circuit.Kind]float64{
+			circuit.KindBuf:  1,
+			circuit.KindNot:  1,
+			circuit.KindNand: 1,
+			circuit.KindNor:  1,
+			circuit.KindAnd:  1,
+			circuit.KindOr:   1,
+			circuit.KindXor:  2,
+			circuit.KindXnor: 2,
+			circuit.KindMux:  2,
+		},
+	}
+}
+
+// GateArea returns the area of a single gate of the given kind and arity.
+// Inputs and constants are free.
+func (l *Library) GateArea(k circuit.Kind, arity int) float64 {
+	a, ok := l.Area2[k]
+	if !ok {
+		return 0
+	}
+	if arity <= 2 {
+		return a
+	}
+	return a * float64(arity-1)
+}
+
+// GateDelay returns the propagation delay of a single gate of the kind.
+func (l *Library) GateDelay(k circuit.Kind) float64 { return l.Delay[k] }
+
+// NetworkArea returns the total area of all live gates in the network.
+func (l *Library) NetworkArea(n *circuit.Network) float64 {
+	total := 0.0
+	for _, id := range n.LiveNodes() {
+		total += l.GateArea(n.Kind(id), len(n.Fanins(id)))
+	}
+	return total
+}
+
+// NetworkDelay returns the critical-path delay of the network under the
+// library's per-gate delays (arrival-time propagation in topological
+// order).
+func (l *Library) NetworkDelay(n *circuit.Network) float64 {
+	arrival := make([]float64, n.NumSlots())
+	for _, id := range n.TopoOrder() {
+		k := n.Kind(id)
+		if !k.IsGate() {
+			arrival[id] = 0
+			continue
+		}
+		worst := 0.0
+		for _, f := range n.Fanins(id) {
+			if arrival[f] > worst {
+				worst = arrival[f]
+			}
+		}
+		arrival[id] = worst + l.GateDelay(k)
+	}
+	d := 0.0
+	for _, o := range n.Outputs() {
+		if arrival[o.Node] > d {
+			d = arrival[o.Node]
+		}
+	}
+	return d
+}
+
+// NodeArrival returns per-node arrival times under the library delays,
+// indexed by NodeID. Flows use this for the no-slowdown substitution guard.
+func (l *Library) NodeArrival(n *circuit.Network) []float64 {
+	arrival := make([]float64, n.NumSlots())
+	for _, id := range n.TopoOrder() {
+		k := n.Kind(id)
+		if !k.IsGate() {
+			continue
+		}
+		worst := 0.0
+		for _, f := range n.Fanins(id) {
+			if arrival[f] > worst {
+				worst = arrival[f]
+			}
+		}
+		arrival[id] = worst + l.GateDelay(k)
+	}
+	return arrival
+}

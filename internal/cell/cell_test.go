@@ -1,0 +1,83 @@
+package cell
+
+import (
+	"testing"
+
+	"batchals/internal/circuit"
+)
+
+func TestGateAreaScalesWithArity(t *testing.T) {
+	lib := Default()
+	a2 := lib.GateArea(circuit.KindAnd, 2)
+	a3 := lib.GateArea(circuit.KindAnd, 3)
+	a5 := lib.GateArea(circuit.KindAnd, 5)
+	if a2 <= 0 {
+		t.Fatal("2-input AND has no area")
+	}
+	if a3 != 2*a2 || a5 != 4*a2 {
+		t.Fatalf("n-ary decomposition costing wrong: %v %v %v", a2, a3, a5)
+	}
+	if lib.GateArea(circuit.KindNot, 1) <= 0 {
+		t.Fatal("inverter free")
+	}
+	if lib.GateArea(circuit.KindInput, 0) != 0 || lib.GateArea(circuit.KindConst1, 0) != 0 {
+		t.Fatal("inputs and constants must be free")
+	}
+}
+
+func TestNetworkAreaAdditive(t *testing.T) {
+	lib := Default()
+	n := circuit.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(circuit.KindAnd, a, b)
+	g2 := n.AddGate(circuit.KindNot, g1)
+	n.AddOutput("o", g2)
+	want := lib.GateArea(circuit.KindAnd, 2) + lib.GateArea(circuit.KindNot, 1)
+	if got := lib.NetworkArea(n); got != want {
+		t.Fatalf("area %v want %v", got, want)
+	}
+}
+
+func TestNetworkDelayCriticalPath(t *testing.T) {
+	lib := Default()
+	n := circuit.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	// Path 1: single AND (delay 1). Path 2: XOR then AND (2+1).
+	x := n.AddGate(circuit.KindXor, a, b)
+	g := n.AddGate(circuit.KindAnd, x, a)
+	n.AddOutput("o1", n.AddGate(circuit.KindAnd, a, b))
+	n.AddOutput("o2", g)
+	want := lib.GateDelay(circuit.KindXor) + lib.GateDelay(circuit.KindAnd)
+	if got := lib.NetworkDelay(n); got != want {
+		t.Fatalf("delay %v want %v", got, want)
+	}
+}
+
+func TestNodeArrivalMonotone(t *testing.T) {
+	lib := Default()
+	n := circuit.New("t")
+	a := n.AddInput("a")
+	g1 := n.AddGate(circuit.KindNot, a)
+	g2 := n.AddGate(circuit.KindNot, g1)
+	n.AddOutput("o", g2)
+	arr := lib.NodeArrival(n)
+	if !(arr[a] < arr[g1] && arr[g1] < arr[g2]) {
+		t.Fatalf("arrivals not monotone: %v", arr)
+	}
+}
+
+func TestDelayGreaterEqualAnyPath(t *testing.T) {
+	lib := Default()
+	n := circuit.New("t")
+	a := n.AddInput("a")
+	cur := a
+	for i := 0; i < 7; i++ {
+		cur = n.AddGate(circuit.KindNot, cur)
+	}
+	n.AddOutput("o", cur)
+	if got := lib.NetworkDelay(n); got != 7*lib.GateDelay(circuit.KindNot) {
+		t.Fatalf("chain delay %v", got)
+	}
+}

@@ -1,0 +1,343 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildSmall constructs: o1 = AND(a,b), o2 = OR(o1, NOT(c)).
+func buildSmall() (*Network, NodeID, NodeID, NodeID, NodeID, NodeID) {
+	n := New("small")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	g1 := n.AddGate(KindAnd, a, b)
+	inv := n.AddGate(KindNot, c)
+	g2 := n.AddGate(KindOr, g1, inv)
+	n.AddOutput("o1", g1)
+	n.AddOutput("o2", g2)
+	return n, a, b, c, g1, g2
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	n, _, _, _, g1, g2 := buildSmall()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumInputs() != 3 || n.NumOutputs() != 2 || n.NumGates() != 3 {
+		t.Fatalf("stats wrong: %s", n.Stats())
+	}
+	if n.Level(g1) != 1 || n.Level(g2) != 2 || n.Depth() != 2 {
+		t.Fatalf("levels wrong: %d %d depth %d", n.Level(g1), n.Level(g2), n.Depth())
+	}
+	if len(n.Fanouts(g1)) != 1 || n.Fanouts(g1)[0] != g2 {
+		t.Fatal("fanout list wrong")
+	}
+}
+
+func TestKindEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   []bool
+		want bool
+	}{
+		{KindAnd, []bool{true, true}, true},
+		{KindAnd, []bool{true, false}, false},
+		{KindNand, []bool{true, true}, false},
+		{KindNand, []bool{false, true}, true},
+		{KindOr, []bool{false, false}, false},
+		{KindOr, []bool{false, true}, true},
+		{KindNor, []bool{false, false}, true},
+		{KindNor, []bool{true, false}, false},
+		{KindXor, []bool{true, true}, false},
+		{KindXor, []bool{true, false}, true},
+		{KindXor, []bool{true, true, true}, true},
+		{KindXnor, []bool{true, false}, false},
+		{KindXnor, []bool{true, true}, true},
+		{KindNot, []bool{true}, false},
+		{KindBuf, []bool{true}, true},
+		{KindMux, []bool{false, true, false}, true},
+		{KindMux, []bool{true, true, false}, false},
+		{KindAnd, []bool{true, true, true, false}, false},
+		{KindOr, []bool{false, false, false, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.kind.Eval(c.in); got != c.want {
+			t.Errorf("%v%v = %v want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalWordMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	kinds := []Kind{KindBuf, KindNot, KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor, KindMux}
+	for _, k := range kinds {
+		arity := 2
+		switch k {
+		case KindBuf, KindNot:
+			arity = 1
+		case KindMux:
+			arity = 3
+		}
+		for extra := 0; extra < 2; extra++ {
+			a := arity
+			if k != KindBuf && k != KindNot && k != KindMux {
+				a += extra
+			}
+			words := make([]uint64, a)
+			for i := range words {
+				words[i] = r.Uint64()
+			}
+			got := k.EvalWord(words)
+			for bit := 0; bit < 64; bit++ {
+				in := make([]bool, a)
+				for i := range in {
+					in[i] = words[i]>>uint(bit)&1 == 1
+				}
+				want := k.Eval(in)
+				if (got>>uint(bit)&1 == 1) != want {
+					t.Fatalf("%v arity %d bit %d mismatch", k, a, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestArityChecks(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NOT with 2 fanins")
+		}
+	}()
+	n.AddGate(KindNot, a, a)
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	n := randomNetwork(t, rand.New(rand.NewSource(11)), 8, 60)
+	order := n.TopoOrder()
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(order) != n.NumNodes() {
+		t.Fatalf("topo covers %d of %d nodes", len(order), n.NumNodes())
+	}
+	for _, id := range order {
+		for _, f := range n.Fanins(id) {
+			if pos[f] >= pos[id] {
+				t.Fatalf("fanin %d after node %d in topo order", f, id)
+			}
+		}
+	}
+}
+
+// randomNetwork builds a random DAG with the given number of inputs and
+// gates; every gate's fanins come from earlier nodes.
+func randomNetwork(t testing.TB, r *rand.Rand, nin, ngates int) *Network {
+	t.Helper()
+	n := New("rand")
+	pool := make([]NodeID, 0, nin+ngates)
+	for i := 0; i < nin; i++ {
+		pool = append(pool, n.AddInput(""))
+	}
+	kinds := []Kind{KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor, KindNot}
+	for i := 0; i < ngates; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		var id NodeID
+		if k == KindNot {
+			id = n.AddGate(k, pool[r.Intn(len(pool))])
+		} else {
+			f1 := pool[r.Intn(len(pool))]
+			f2 := pool[r.Intn(len(pool))]
+			for f2 == f1 {
+				f2 = pool[r.Intn(len(pool))]
+			}
+			id = n.AddGate(k, f1, f2)
+		}
+		pool = append(pool, id)
+	}
+	// Expose all fanout-free nodes as outputs so nothing is trivially dead.
+	for _, id := range pool {
+		if len(n.Fanouts(id)) == 0 {
+			n.AddOutput("", id)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestReplaceFanin(t *testing.T) {
+	n, a, b, c, g1, _ := buildSmall()
+	_ = b
+	n.ReplaceFanin(g1, a, c)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Fanins(g1)[0] != c {
+		t.Fatal("fanin not replaced")
+	}
+	if containsID(n.Fanouts(a), g1) {
+		t.Fatal("old fanout edge remains")
+	}
+	if !containsID(n.Fanouts(c), g1) {
+		t.Fatal("new fanout edge missing")
+	}
+}
+
+func TestReplaceNodeAndSweep(t *testing.T) {
+	n, a, b, _, g1, g2 := buildSmall()
+	// Substitute g1 by input a everywhere.
+	n.ReplaceNode(g1, a)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Outputs()[0].Node != a {
+		t.Fatal("output binding not redirected")
+	}
+	if n.Fanins(g2)[0] != a {
+		t.Fatal("gate fanin not redirected")
+	}
+	removed := n.SweepFrom(g1)
+	if removed != 1 {
+		t.Fatalf("SweepFrom removed %d want 1", removed)
+	}
+	if n.IsLive(g1) {
+		t.Fatal("g1 still live")
+	}
+	if !n.IsLive(b) {
+		t.Fatal("primary input b must never be swept")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceNodeCycleGuard(t *testing.T) {
+	n, _, _, _, g1, g2 := buildSmall()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when replacement would create a cycle")
+		}
+	}()
+	n.ReplaceNode(g1, g2) // g2 is in g1's fanout cone
+}
+
+func TestSweepCascade(t *testing.T) {
+	n := New("chain")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(KindAnd, a, b)
+	g2 := n.AddGate(KindNot, g1)
+	g3 := n.AddGate(KindNot, g2)
+	n.AddOutput("o", g3)
+	// Redirect output to a: entire chain g3->g2->g1 becomes dead.
+	n.ReplaceNode(g3, a)
+	if got := n.SweepFrom(g3); got != 3 {
+		t.Fatalf("swept %d want 3", got)
+	}
+	if n.NumGates() != 0 {
+		t.Fatalf("gates remain: %s", n.Dump())
+	}
+}
+
+func TestMFFCAgainstActualSweep(t *testing.T) {
+	// MFFC(root) must equal the set of nodes removed by redirecting root's
+	// fanouts to a fresh input and sweeping.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := randomNetwork(t, r, 5, 40)
+		var gates []NodeID
+		for _, id := range n.LiveNodes() {
+			if n.Kind(id).IsGate() {
+				gates = append(gates, id)
+			}
+		}
+		root := gates[r.Intn(len(gates))]
+		mffc := n.MFFC(root)
+
+		work := n.Clone()
+		spare := work.AddInput("spare")
+		work.ReplaceNode(root, spare)
+		removed := work.SweepFrom(root)
+		if removed != len(mffc) {
+			t.Fatalf("trial %d: MFFC size %d but sweep removed %d", trial, len(mffc), removed)
+		}
+		for _, id := range mffc {
+			if work.IsLive(id) {
+				t.Fatalf("trial %d: MFFC node %d still live after sweep", trial, id)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n, a, _, _, g1, _ := buildSmall()
+	c := n.Clone()
+	c.ReplaceFanin(g1, a, c.AddInput("x"))
+	if err := n.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone edit: %v", err)
+	}
+	if n.NumInputs() != 3 || c.NumInputs() != 4 {
+		t.Fatal("clone not independent")
+	}
+	if n.Dump() == c.Dump() {
+		t.Fatal("edit did not change clone")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	n := New("cyc")
+	a := n.AddInput("a")
+	g1 := n.AddGate(KindAnd, a, a)
+	g2 := n.AddGate(KindOr, g1, a)
+	n.AddOutput("o", g2)
+	// Manually create a cycle g1 <- g2.
+	n.Node(g1).Fanins[1] = g2
+	n.Node(g2).fanouts = append(n.Node(g2).fanouts, g1)
+	n.removeFanoutEdge(a, g1)
+	n.markDirty()
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate missed cycle")
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	n, a, _, _, _, _ := buildSmall()
+	if n.FindByName("a") != a {
+		t.Fatal("FindByName failed")
+	}
+	if n.FindByName("zzz") != InvalidNode {
+		t.Fatal("FindByName ghost hit")
+	}
+}
+
+func TestTransitiveCones(t *testing.T) {
+	n, a, b, c, g1, g2 := buildSmall()
+	foc := n.TransitiveFanoutCone(a)
+	if !foc[g1] || !foc[g2] || foc[b] || foc[c] {
+		t.Fatal("fanout cone wrong")
+	}
+	fic := n.TransitiveFaninCone(g2)
+	if !fic[a] || !fic[b] || !fic[c] || !fic[g1] {
+		t.Fatal("fanin cone wrong")
+	}
+}
+
+func TestLevelsAfterEdit(t *testing.T) {
+	n, a, _, _, g1, g2 := buildSmall()
+	if n.Depth() != 2 {
+		t.Fatal("precondition")
+	}
+	n.ReplaceNode(g1, a)
+	n.SweepFrom(g1)
+	if n.Depth() != 2 {
+		t.Fatalf("depth after edit = %d want 2 (OR of a, NOT c)", n.Depth())
+	}
+	if n.Level(g2) != 2 {
+		t.Fatalf("level(g2)=%d", n.Level(g2))
+	}
+}

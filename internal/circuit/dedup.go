@@ -1,0 +1,85 @@
+package circuit
+
+import "sort"
+
+// Dedup merges structurally identical gates: two live gates with the same
+// kind and the same fanins (order-insensitive for symmetric kinds) are
+// collapsed onto one representative, in topological order so that chains
+// of duplicates collapse transitively. Dead gates left behind are swept.
+// It returns the number of gates removed.
+//
+// This is the network-level analogue of AIG structural hashing; generators
+// and file loaders can produce duplicated logic, and deduplicating it
+// first both shrinks the baseline area and removes trivially-identical
+// substitution candidates from ALS flows.
+func (n *Network) Dedup() int {
+	total := 0
+	for {
+		removed := n.dedupPass()
+		total += removed
+		if removed == 0 {
+			return total
+		}
+	}
+}
+
+// dedupPass performs one topological merge sweep. Rewrites performed
+// mid-pass can expose new duplicates among already-visited nodes (their
+// stored keys go stale), so Dedup iterates passes to a fixpoint.
+func (n *Network) dedupPass() int {
+	type key struct {
+		kind Kind
+		f0   NodeID
+		f1   NodeID
+		f2   NodeID
+		more string // overflow fanins, canonically encoded
+	}
+	canon := make(map[key]NodeID)
+	removed := 0
+	// Iterate a snapshot: ReplaceNode edits fanout lists as we go, but
+	// only of already-visited (earlier) nodes' fanouts, never the shape of
+	// later nodes' fanin *sets* — those are rewritten in place, which is
+	// why recomputing the key from the live fanins below is essential.
+	order := append([]NodeID(nil), n.TopoOrder()...)
+	for _, id := range order {
+		if !n.IsLive(id) || !n.Kind(id).IsGate() {
+			continue
+		}
+		fanins := append([]NodeID(nil), n.Fanins(id)...)
+		if symmetricKind(n.Kind(id)) {
+			sort.Slice(fanins, func(a, b int) bool { return fanins[a] < fanins[b] })
+		}
+		k := key{kind: n.Kind(id)}
+		switch {
+		case len(fanins) > 3:
+			k.f0, k.f1, k.f2 = fanins[0], fanins[1], fanins[2]
+			var enc []byte
+			for _, f := range fanins[3:] {
+				enc = append(enc, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+			}
+			k.more = string(enc)
+		case len(fanins) == 3:
+			k.f0, k.f1, k.f2 = fanins[0], fanins[1], fanins[2]
+		case len(fanins) == 2:
+			k.f0, k.f1, k.f2 = fanins[0], fanins[1], InvalidNode
+		default:
+			k.f0, k.f1, k.f2 = fanins[0], InvalidNode, InvalidNode
+		}
+		if rep, ok := canon[k]; ok && rep != id && n.IsLive(rep) {
+			n.ReplaceNode(id, rep)
+			removed += n.SweepFrom(id)
+			continue
+		}
+		canon[k] = id
+	}
+	return removed
+}
+
+// symmetricKind reports whether fanin order is irrelevant for the kind.
+func symmetricKind(k Kind) bool {
+	switch k {
+	case KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDedupMergesIdenticalGates(t *testing.T) {
+	n := New("dup")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(KindAnd, a, b)
+	g2 := n.AddGate(KindAnd, b, a) // commuted duplicate
+	g3 := n.AddGate(KindOr, g1, g2)
+	n.AddOutput("o", g3)
+	removed := n.Dedup()
+	if removed != 1 {
+		t.Fatalf("removed %d want 1", removed)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// OR now has the same node twice as fanin.
+	f := n.Fanins(g3)
+	if f[0] != f[1] {
+		t.Fatalf("OR fanins not merged: %v", f)
+	}
+}
+
+func TestDedupTransitiveChains(t *testing.T) {
+	n := New("chain")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	// Two identical two-level structures.
+	x1 := n.AddGate(KindAnd, a, b)
+	y1 := n.AddGate(KindNot, x1)
+	x2 := n.AddGate(KindAnd, a, b)
+	y2 := n.AddGate(KindNot, x2)
+	o := n.AddGate(KindXor, y1, y2)
+	n.AddOutput("o", o)
+	removed := n.Dedup()
+	if removed != 2 {
+		t.Fatalf("removed %d want 2 (one AND, one NOT)", removed)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := randomNetwork(t, r, 6, 50)
+	n.Dedup()
+	if again := n.Dedup(); again != 0 {
+		t.Fatalf("second Dedup removed %d more", again)
+	}
+}
+
+func TestDedupPreservesBehaviour(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetwork(t, r, 6, 60)
+		ref := n.Clone()
+		n.Dedup()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Compare behaviour on random assignments via scalar evaluation.
+		in := make([]bool, 6)
+		for k := 0; k < 40; k++ {
+			for i := range in {
+				in[i] = r.Intn(2) == 1
+			}
+			if !equalOutputs(ref, n, in) {
+				t.Fatalf("trial %d: behaviour changed", trial)
+			}
+		}
+	}
+}
+
+// equalOutputs evaluates both networks on the assignment and compares.
+func equalOutputs(a, b *Network, in []bool) bool {
+	ea := evalScalar(a, in)
+	eb := evalScalar(b, in)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func evalScalar(n *Network, inputs []bool) []bool {
+	val := make([]bool, n.NumSlots())
+	for k, in := range n.Inputs() {
+		val[in] = inputs[k]
+	}
+	var buf []bool
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == KindInput {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range n.Fanins(id) {
+			buf = append(buf, val[f])
+		}
+		val[id] = kind.Eval(buf)
+	}
+	outs := make([]bool, n.NumOutputs())
+	for o, out := range n.Outputs() {
+		outs[o] = val[out.Node]
+	}
+	return outs
+}
+
+func TestDedupMuxOrderSensitive(t *testing.T) {
+	n := New("mux")
+	s := n.AddInput("s")
+	d0 := n.AddInput("d0")
+	d1 := n.AddInput("d1")
+	m1 := n.AddGate(KindMux, s, d0, d1)
+	m2 := n.AddGate(KindMux, s, d1, d0) // different function!
+	n.AddOutput("o1", m1)
+	n.AddOutput("o2", m2)
+	if removed := n.Dedup(); removed != 0 {
+		t.Fatalf("merged order-sensitive MUXes (removed %d)", removed)
+	}
+}

@@ -1,0 +1,183 @@
+package circuit
+
+import "fmt"
+
+// removeFanoutEdge deletes one occurrence of fo from the fanout list of id.
+func (n *Network) removeFanoutEdge(id, fo NodeID) {
+	s := n.nodes[id].fanouts
+	for i, x := range s {
+		if x == fo {
+			s[i] = s[len(s)-1]
+			n.nodes[id].fanouts = s[:len(s)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("circuit: fanout edge %d->%d not found", id, fo))
+}
+
+// ReplaceFanin rewires every occurrence of old in the fanin list of node id
+// to new, maintaining fanout lists. It panics if old does not appear.
+func (n *Network) ReplaceFanin(id, old, new NodeID) {
+	if !n.IsLive(new) {
+		panic(fmt.Sprintf("circuit: ReplaceFanin target %d not live", new))
+	}
+	found := false
+	for i, f := range n.nodes[id].Fanins {
+		if f == old {
+			n.nodes[id].Fanins[i] = new
+			n.removeFanoutEdge(old, id)
+			n.nodes[new].fanouts = append(n.nodes[new].fanouts, id)
+			found = true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("circuit: node %d has no fanin %d", id, old))
+	}
+	n.markDirty()
+}
+
+// ReplaceNode redirects every fanout of old (including primary output
+// bindings) to new. old keeps its fanins but becomes fanout-free; callers
+// typically follow with SweepFrom(old). It panics if new lies in the
+// transitive fanout cone of old, which would create a cycle.
+func (n *Network) ReplaceNode(old, new NodeID) {
+	if old == new {
+		return
+	}
+	if !n.IsLive(old) || !n.IsLive(new) {
+		panic("circuit: ReplaceNode on dead node")
+	}
+	if n.TransitiveFanoutCone(old)[new] {
+		panic(fmt.Sprintf("circuit: ReplaceNode(%d,%d) would create a cycle", old, new))
+	}
+	// Copy: the fanout list of old is mutated as we rewire.
+	fos := append([]NodeID(nil), n.nodes[old].fanouts...)
+	for _, fo := range fos {
+		for i, f := range n.nodes[fo].Fanins {
+			if f == old {
+				n.nodes[fo].Fanins[i] = new
+				n.removeFanoutEdge(old, fo)
+				n.nodes[new].fanouts = append(n.nodes[new].fanouts, fo)
+			}
+		}
+	}
+	for i := range n.outputs {
+		if n.outputs[i].Node == old {
+			n.outputs[i].Node = new
+		}
+	}
+	n.markDirty()
+}
+
+// deleteNode frees node id, detaching it from its fanins. The node must
+// have no fanouts and not drive an output.
+func (n *Network) deleteNode(id NodeID) {
+	nd := &n.nodes[id]
+	if len(nd.fanouts) != 0 {
+		panic(fmt.Sprintf("circuit: deleteNode(%d) still has fanouts", id))
+	}
+	if n.isOutputDriver(id) {
+		panic(fmt.Sprintf("circuit: deleteNode(%d) drives an output", id))
+	}
+	for _, f := range nd.Fanins {
+		n.removeFanoutEdge(f, id)
+	}
+	if nd.Kind == KindInput {
+		for i, in := range n.inputs {
+			if in == id {
+				n.inputs = append(n.inputs[:i], n.inputs[i+1:]...)
+				break
+			}
+		}
+	}
+	*nd = Node{Kind: KindFree}
+	n.markDirty()
+}
+
+// SweepFrom removes node start if it is dead (no fanouts, not an output)
+// and recursively removes any fanins that become dead, except primary
+// inputs, which are never swept. It returns the number of nodes removed.
+func (n *Network) SweepFrom(start NodeID) int {
+	removed := 0
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !n.IsLive(id) || n.nodes[id].Kind == KindInput {
+			continue
+		}
+		if len(n.nodes[id].fanouts) != 0 || n.isOutputDriver(id) {
+			continue
+		}
+		fanins := append([]NodeID(nil), n.nodes[id].Fanins...)
+		n.deleteNode(id)
+		removed++
+		stack = append(stack, fanins...)
+	}
+	return removed
+}
+
+// Sweep removes all dead gates and constants anywhere in the network
+// (nodes with no fanouts that drive no output). Primary inputs are kept.
+// It returns the number of nodes removed.
+func (n *Network) Sweep() int {
+	removed := 0
+	for {
+		progress := 0
+		for i := range n.nodes {
+			id := NodeID(i)
+			if !n.IsLive(id) || n.nodes[i].Kind == KindInput {
+				continue
+			}
+			if len(n.nodes[i].fanouts) == 0 && !n.isOutputDriver(id) {
+				n.deleteNode(id)
+				progress++
+			}
+		}
+		removed += progress
+		if progress == 0 {
+			return removed
+		}
+	}
+}
+
+// MFFC returns the maximum fanout-free cone of root: the set of nodes that
+// would become dead if root lost all its fanouts (root included, inputs
+// excluded). This is the area that a substitution deleting root reclaims.
+func (n *Network) MFFC(root NodeID) []NodeID {
+	return n.MFFCExcluding(root, InvalidNode)
+}
+
+// MFFCExcluding returns the MFFC of root with node keep pinned alive: keep
+// (and everything only it supports) is never included. A substitution that
+// replaces root by keep gives keep new fanouts, so the logic it exclusively
+// supported stays live — this variant returns exactly the set such a
+// substitution deletes. Pass InvalidNode for no pin.
+func (n *Network) MFFCExcluding(root, keep NodeID) []NodeID {
+	// Simulated reference-count deletion without touching the network.
+	refDrop := make(map[NodeID]int)
+	var mffc []NodeID
+	inCone := make(map[NodeID]bool)
+	var visit func(id NodeID)
+	visit = func(id NodeID) {
+		if inCone[id] {
+			return
+		}
+		inCone[id] = true
+		mffc = append(mffc, id)
+		for _, f := range n.nodes[id].Fanins {
+			if n.nodes[f].Kind == KindInput || f == keep {
+				continue
+			}
+			refDrop[f]++
+			if refDrop[f] == len(n.nodes[f].fanouts) && !n.isOutputDriver(f) {
+				visit(f)
+			}
+		}
+	}
+	if n.nodes[root].Kind == KindInput || root == keep {
+		return nil
+	}
+	visit(root)
+	return mffc
+}

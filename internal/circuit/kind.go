@@ -1,0 +1,174 @@
+// Package circuit provides the gate-level logic network used throughout the
+// library: a combinational DAG of typed nodes with maintained fanout lists,
+// topological ordering, levelisation, MFFC computation and the structural
+// editing operations (substitution, constant forcing, dead-cone sweeping)
+// that approximate logic synthesis flows perform.
+package circuit
+
+import "fmt"
+
+// Kind identifies the function of a node.
+type Kind uint8
+
+// Node kinds. Gate kinds other than Not/Buf/Mux accept two or more fanins.
+const (
+	KindFree   Kind = iota // deleted node slot
+	KindInput              // primary input, no fanins
+	KindConst0             // constant zero, no fanins
+	KindConst1             // constant one, no fanins
+	KindBuf                // buffer, one fanin
+	KindNot                // inverter, one fanin
+	KindAnd                // n-ary AND
+	KindOr                 // n-ary OR
+	KindNand               // n-ary NAND
+	KindNor                // n-ary NOR
+	KindXor                // n-ary XOR (odd parity)
+	KindXnor               // n-ary XNOR (even parity)
+	KindMux                // MUX(sel, d0, d1): sel ? d1 : d0
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindFree:   "FREE",
+	KindInput:  "INPUT",
+	KindConst0: "CONST0",
+	KindConst1: "CONST1",
+	KindBuf:    "BUF",
+	KindNot:    "NOT",
+	KindAnd:    "AND",
+	KindOr:     "OR",
+	KindNand:   "NAND",
+	KindNor:    "NOR",
+	KindXor:    "XOR",
+	KindXnor:   "XNOR",
+	KindMux:    "MUX",
+}
+
+// String returns the canonical upper-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsGate reports whether the kind is a logic gate (has fanins).
+func (k Kind) IsGate() bool {
+	switch k {
+	case KindBuf, KindNot, KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor, KindMux:
+		return true
+	}
+	return false
+}
+
+// IsConst reports whether the kind is a constant source.
+func (k Kind) IsConst() bool { return k == KindConst0 || k == KindConst1 }
+
+// ArityOK reports whether a node of this kind may have n fanins.
+func (k Kind) ArityOK(n int) bool {
+	switch k {
+	case KindInput, KindConst0, KindConst1:
+		return n == 0
+	case KindBuf, KindNot:
+		return n == 1
+	case KindMux:
+		return n == 3
+	case KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor:
+		return n >= 2
+	}
+	return false
+}
+
+// Eval computes the single-bit output of a gate of kind k given its fanin
+// values. It is the scalar reference semantics against which the word-level
+// simulator is tested.
+func (k Kind) Eval(in []bool) bool {
+	switch k {
+	case KindConst0:
+		return false
+	case KindConst1:
+		return true
+	case KindBuf:
+		return in[0]
+	case KindNot:
+		return !in[0]
+	case KindAnd, KindNand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if k == KindNand {
+			return !v
+		}
+		return v
+	case KindOr, KindNor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if k == KindNor {
+			return !v
+		}
+		return v
+	case KindXor, KindXnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if k == KindXnor {
+			return !v
+		}
+		return v
+	case KindMux:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	}
+	panic(fmt.Sprintf("circuit: Eval on non-gate kind %v", k))
+}
+
+// EvalWord computes 64 parallel evaluations of a gate of kind k, one per
+// bit, given one word per fanin.
+func (k Kind) EvalWord(in []uint64) uint64 {
+	switch k {
+	case KindConst0:
+		return 0
+	case KindConst1:
+		return ^uint64(0)
+	case KindBuf:
+		return in[0]
+	case KindNot:
+		return ^in[0]
+	case KindAnd, KindNand:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		if k == KindNand {
+			return ^v
+		}
+		return v
+	case KindOr, KindNor:
+		v := uint64(0)
+		for _, w := range in {
+			v |= w
+		}
+		if k == KindNor {
+			return ^v
+		}
+		return v
+	case KindXor, KindXnor:
+		v := uint64(0)
+		for _, w := range in {
+			v ^= w
+		}
+		if k == KindXnor {
+			return ^v
+		}
+		return v
+	case KindMux:
+		return (in[0] & in[2]) | (^in[0] & in[1])
+	}
+	panic(fmt.Sprintf("circuit: EvalWord on non-gate kind %v", k))
+}

@@ -1,0 +1,322 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Network. IDs are stable across edits;
+// deleted slots are reused only after Compact.
+type NodeID int32
+
+// InvalidNode is the zero-value "no node" sentinel.
+const InvalidNode NodeID = -1
+
+// Node is a single vertex of the network DAG.
+type Node struct {
+	Kind   Kind
+	Name   string
+	Fanins []NodeID
+
+	fanouts []NodeID // maintained by the Network
+}
+
+// Output binds a driver node to a named primary output port. The numeric
+// interpretation used by AEM treats Index 0 as the least significant bit.
+type Output struct {
+	Name string
+	Node NodeID
+}
+
+// Network is a combinational logic network. The zero value is empty and
+// ready to use; New is provided for symmetry and to set a name.
+type Network struct {
+	Name    string
+	nodes   []Node
+	inputs  []NodeID // in declaration order
+	outputs []Output
+
+	topoDirty bool
+	topo      []NodeID
+	levels    []int32
+}
+
+// New returns an empty network with the given name.
+func New(name string) *Network {
+	return &Network{Name: name, topoDirty: true}
+}
+
+// NumNodes returns the number of live (non-deleted) nodes, including inputs
+// and constants.
+func (n *Network) NumNodes() int {
+	c := 0
+	for i := range n.nodes {
+		if n.nodes[i].Kind != KindFree {
+			c++
+		}
+	}
+	return c
+}
+
+// NumSlots returns the size of the node table including deleted slots.
+// Valid NodeIDs are in [0, NumSlots).
+func (n *Network) NumSlots() int { return len(n.nodes) }
+
+// NumGates returns the number of live logic gates (excluding inputs and
+// constants).
+func (n *Network) NumGates() int {
+	c := 0
+	for i := range n.nodes {
+		if n.nodes[i].Kind.IsGate() {
+			c++
+		}
+	}
+	return c
+}
+
+// NumEdges returns the number of live fanin edges.
+func (n *Network) NumEdges() int {
+	c := 0
+	for i := range n.nodes {
+		if n.nodes[i].Kind != KindFree {
+			c += len(n.nodes[i].Fanins)
+		}
+	}
+	return c
+}
+
+// Inputs returns the primary inputs in declaration order. The caller must
+// not mutate the returned slice.
+func (n *Network) Inputs() []NodeID { return n.inputs }
+
+// Outputs returns the primary output bindings in declaration order. The
+// caller must not mutate the returned slice.
+func (n *Network) Outputs() []Output { return n.outputs }
+
+// NumInputs returns the number of primary inputs.
+func (n *Network) NumInputs() int { return len(n.inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (n *Network) NumOutputs() int { return len(n.outputs) }
+
+// Node returns a pointer to the node record for id. The pointer is
+// invalidated by operations that grow the node table.
+func (n *Network) Node(id NodeID) *Node {
+	return &n.nodes[id]
+}
+
+// Kind returns the kind of node id.
+func (n *Network) Kind(id NodeID) Kind { return n.nodes[id].Kind }
+
+// Fanins returns the fanin list of node id; the caller must not mutate it.
+func (n *Network) Fanins(id NodeID) []NodeID { return n.nodes[id].Fanins }
+
+// Fanouts returns the fanout list of node id; the caller must not mutate
+// it. The order is unspecified.
+func (n *Network) Fanouts(id NodeID) []NodeID { return n.nodes[id].fanouts }
+
+// NameOf returns the name of node id, synthesising "n<id>" if unnamed.
+func (n *Network) NameOf(id NodeID) string {
+	if s := n.nodes[id].Name; s != "" {
+		return s
+	}
+	return fmt.Sprintf("n%d", id)
+}
+
+// SetName assigns a name to node id.
+func (n *Network) SetName(id NodeID, name string) { n.nodes[id].Name = name }
+
+// IsLive reports whether id refers to a non-deleted node.
+func (n *Network) IsLive(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.nodes) && n.nodes[id].Kind != KindFree
+}
+
+func (n *Network) addNode(nd Node) NodeID {
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, nd)
+	n.topoDirty = true
+	return id
+}
+
+// AddInput appends a new primary input with the given name.
+func (n *Network) AddInput(name string) NodeID {
+	id := n.addNode(Node{Kind: KindInput, Name: name})
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// AddConst adds a constant node of the given value.
+func (n *Network) AddConst(v bool) NodeID {
+	k := KindConst0
+	if v {
+		k = KindConst1
+	}
+	return n.addNode(Node{Kind: k})
+}
+
+// AddGate adds a gate of the given kind over the fanins and returns its id.
+// It panics if the arity is invalid for the kind or a fanin is not live.
+func (n *Network) AddGate(kind Kind, fanins ...NodeID) NodeID {
+	if !kind.ArityOK(len(fanins)) {
+		panic(fmt.Sprintf("circuit: %v cannot take %d fanins", kind, len(fanins)))
+	}
+	for _, f := range fanins {
+		if !n.IsLive(f) {
+			panic(fmt.Sprintf("circuit: AddGate fanin %d is not a live node", f))
+		}
+	}
+	id := n.addNode(Node{Kind: kind, Fanins: append([]NodeID(nil), fanins...)})
+	for _, f := range fanins {
+		n.nodes[f].fanouts = append(n.nodes[f].fanouts, id)
+	}
+	return id
+}
+
+// AddOutput binds node id as a primary output with the given name and
+// returns the output index.
+func (n *Network) AddOutput(name string, id NodeID) int {
+	if !n.IsLive(id) {
+		panic(fmt.Sprintf("circuit: AddOutput driver %d is not live", id))
+	}
+	n.outputs = append(n.outputs, Output{Name: name, Node: id})
+	return len(n.outputs) - 1
+}
+
+// OutputDriver returns the node driving output index o.
+func (n *Network) OutputDriver(o int) NodeID { return n.outputs[o].Node }
+
+// isOutputDriver reports whether id drives at least one primary output.
+func (n *Network) isOutputDriver(id NodeID) bool {
+	for _, o := range n.outputs {
+		if o.Node == id {
+			return true
+		}
+	}
+	return false
+}
+
+// FindByName returns the first live node with the given name, or
+// InvalidNode. Linear scan; intended for tests and file I/O, not hot paths.
+func (n *Network) FindByName(name string) NodeID {
+	for i := range n.nodes {
+		if n.nodes[i].Kind != KindFree && n.nodes[i].Name == name {
+			return NodeID(i)
+		}
+	}
+	return InvalidNode
+}
+
+// Clone returns a deep copy of the network. Node IDs are preserved.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Name:      n.Name,
+		nodes:     make([]Node, len(n.nodes)),
+		inputs:    append([]NodeID(nil), n.inputs...),
+		outputs:   append([]Output(nil), n.outputs...),
+		topoDirty: true,
+	}
+	for i := range n.nodes {
+		src := &n.nodes[i]
+		c.nodes[i] = Node{
+			Kind:    src.Kind,
+			Name:    src.Name,
+			Fanins:  append([]NodeID(nil), src.Fanins...),
+			fanouts: append([]NodeID(nil), src.fanouts...),
+		}
+	}
+	return c
+}
+
+// LiveNodes returns the ids of all live nodes in increasing id order.
+func (n *Network) LiveNodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for i := range n.nodes {
+		if n.nodes[i].Kind != KindFree {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// Validate checks structural sanity: arity per kind, liveness and mutual
+// consistency of fanin/fanout lists, liveness of input/output bindings, and
+// acyclicity. It returns the first problem found.
+func (n *Network) Validate() error {
+	for i := range n.nodes {
+		id := NodeID(i)
+		nd := &n.nodes[i]
+		if nd.Kind == KindFree {
+			continue
+		}
+		if !nd.Kind.ArityOK(len(nd.Fanins)) {
+			return fmt.Errorf("node %d (%v): bad arity %d", id, nd.Kind, len(nd.Fanins))
+		}
+		for _, f := range nd.Fanins {
+			if !n.IsLive(f) {
+				return fmt.Errorf("node %d: dead fanin %d", id, f)
+			}
+			if !containsID(n.nodes[f].fanouts, id) {
+				return fmt.Errorf("node %d: fanin %d lacks back-edge", id, f)
+			}
+		}
+		for _, fo := range nd.fanouts {
+			if !n.IsLive(fo) {
+				return fmt.Errorf("node %d: dead fanout %d", id, fo)
+			}
+			if !containsID(n.nodes[fo].Fanins, id) {
+				return fmt.Errorf("node %d: fanout %d lacks fanin edge", id, fo)
+			}
+		}
+	}
+	for _, in := range n.inputs {
+		if !n.IsLive(in) || n.nodes[in].Kind != KindInput {
+			return fmt.Errorf("input binding %d is not a live input", in)
+		}
+	}
+	for i, o := range n.outputs {
+		if !n.IsLive(o.Node) {
+			return fmt.Errorf("output %d (%s) bound to dead node %d", i, o.Name, o.Node)
+		}
+	}
+	if _, err := n.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func containsID(s []NodeID, id NodeID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a compact human-readable summary of the network.
+func (n *Network) Stats() string {
+	return fmt.Sprintf("%s: %d inputs, %d outputs, %d gates, %d edges, depth %d",
+		n.Name, n.NumInputs(), n.NumOutputs(), n.NumGates(), n.NumEdges(), n.Depth())
+}
+
+// Dump renders every live node, for debugging and golden tests.
+func (n *Network) Dump() string {
+	var sb []byte
+	for _, id := range n.LiveNodes() {
+		nd := &n.nodes[id]
+		sb = append(sb, fmt.Sprintf("%4d %-6s %-12s <-", id, nd.Kind, n.NameOf(id))...)
+		for _, f := range nd.Fanins {
+			sb = append(sb, fmt.Sprintf(" %d", f)...)
+		}
+		sb = append(sb, '\n')
+	}
+	outs := make([]string, len(n.outputs))
+	for i, o := range n.outputs {
+		outs[i] = fmt.Sprintf("%s=%d", o.Name, o.Node)
+	}
+	sort.Strings(outs)
+	for _, s := range outs {
+		sb = append(sb, ("out " + s + "\n")...)
+	}
+	return string(sb)
+}

@@ -1,0 +1,121 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEvalWordConsistency: for every gate kind and random operand
+// words, each bit of EvalWord equals the scalar Eval on the corresponding
+// bit slice.
+func TestQuickEvalWordConsistency(t *testing.T) {
+	kinds := []Kind{KindBuf, KindNot, KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor, KindMux}
+	f := func(seed int64, kindIdx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := kinds[int(kindIdx)%len(kinds)]
+		arity := 2
+		switch k {
+		case KindBuf, KindNot:
+			arity = 1
+		case KindMux:
+			arity = 3
+		default:
+			arity = 2 + r.Intn(3)
+		}
+		words := make([]uint64, arity)
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		got := k.EvalWord(words)
+		in := make([]bool, arity)
+		for bit := 0; bit < 64; bit++ {
+			for i := range in {
+				in[i] = words[i]>>uint(bit)&1 == 1
+			}
+			if (got>>uint(bit)&1 == 1) != k.Eval(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSweepNeverBreaksValidity: random edits (ReplaceNode to an
+// earlier node + sweep) keep the network structurally valid and only ever
+// shrink it.
+func TestQuickSweepNeverBreaksValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, r, 4+r.Intn(4), 20+r.Intn(30))
+		for edit := 0; edit < 5; edit++ {
+			var gates []NodeID
+			for _, id := range n.LiveNodes() {
+				if n.Kind(id).IsGate() {
+					gates = append(gates, id)
+				}
+			}
+			if len(gates) == 0 {
+				break
+			}
+			old := gates[r.Intn(len(gates))]
+			// Pick a replacement outside old's fanout cone.
+			cone := n.TransitiveFanoutCone(old)
+			var cands []NodeID
+			for _, id := range n.LiveNodes() {
+				if !cone[id] {
+					cands = append(cands, id)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			sub := cands[r.Intn(len(cands))]
+			before := n.NumNodes()
+			n.ReplaceNode(old, sub)
+			n.SweepFrom(old)
+			if n.NumNodes() > before {
+				return false
+			}
+			if err := n.Validate(); err != nil {
+				t.Logf("seed %d edit %d: %v", seed, edit, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMFFCContainsRoot: the MFFC of any gate contains the gate itself
+// and only nodes from its transitive fanin cone.
+func TestQuickMFFCContainsRoot(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, r, 5, 30)
+		for _, id := range n.LiveNodes() {
+			if !n.Kind(id).IsGate() {
+				continue
+			}
+			mffc := n.MFFC(id)
+			if len(mffc) == 0 || mffc[0] != id {
+				return false
+			}
+			fic := n.TransitiveFaninCone(id)
+			for _, m := range mffc {
+				if !fic[m] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package circuit
+
+// PropagateConstants folds constants through the network: buffers collapse
+// onto their drivers, gates with controlling constant inputs become
+// constants, non-controlling constant inputs are dropped, constant-fed
+// XOR/XNOR absorb the constant into their phase, and constant-selected
+// MUXes collapse onto the chosen branch. Dead logic is swept. Returns the
+// number of gates removed.
+//
+// ALS flows that force signals to constants (internal/snap, constant
+// substitutions in SASIMI) leave such foldable structure behind; running
+// this pass afterwards converts the logical simplification into counted
+// area. It is also the cleanup needed after loading machine-generated
+// netlist files.
+func (n *Network) PropagateConstants() int {
+	removed := 0
+	for {
+		progress := false
+		for _, id := range append([]NodeID(nil), n.TopoOrder()...) {
+			if !n.IsLive(id) || !n.Kind(id).IsGate() {
+				continue
+			}
+			repl, changed := n.foldOne(id)
+			if !changed {
+				continue
+			}
+			if repl != id {
+				before := n.NumNodes()
+				n.ReplaceNode(id, repl)
+				n.SweepFrom(id)
+				removed += before - n.NumNodes()
+			}
+			progress = true
+		}
+		if !progress {
+			return removed
+		}
+	}
+}
+
+// foldOne computes the simplified replacement of gate id, creating helper
+// nodes as needed. It returns (replacement, true) when the gate folds;
+// the replacement may be a rebuilt smaller gate. (id, false) means no
+// change.
+func (n *Network) foldOne(id NodeID) (NodeID, bool) {
+	kind := n.Kind(id)
+	fanins := n.Fanins(id)
+
+	constOf := func(f NodeID) (bool, bool) { // value, isConst
+		switch n.Kind(f) {
+		case KindConst0:
+			return false, true
+		case KindConst1:
+			return true, true
+		}
+		return false, false
+	}
+
+	switch kind {
+	case KindBuf:
+		return fanins[0], true
+	case KindNot:
+		if v, ok := constOf(fanins[0]); ok {
+			return n.AddConst(!v), true
+		}
+		return id, false
+	case KindMux:
+		if v, ok := constOf(fanins[0]); ok {
+			if v {
+				return fanins[2], true
+			}
+			return fanins[1], true
+		}
+		return id, false
+	case KindAnd, KindNand, KindOr, KindNor:
+		isAnd := kind == KindAnd || kind == KindNand
+		inverted := kind == KindNand || kind == KindNor
+		keep := make([]NodeID, 0, len(fanins))
+		for _, f := range fanins {
+			v, ok := constOf(f)
+			if !ok {
+				keep = append(keep, f)
+				continue
+			}
+			if v == isAnd {
+				// Non-controlling value (1 for AND family, 0 for OR
+				// family): the input is an identity element, drop it.
+				continue
+			}
+			// Controlling value: AND family with a 0 evaluates to 0, OR
+			// family with a 1 evaluates to 1 — i.e. to v — then the NAND/
+			// NOR inversion applies.
+			out := v
+			if inverted {
+				out = !out
+			}
+			return n.AddConst(out), true
+		}
+		if len(keep) == len(fanins) {
+			return id, false
+		}
+		switch len(keep) {
+		case 0:
+			// All fanins were non-controlling constants.
+			return n.AddConst(isAnd != inverted), true
+		case 1:
+			if inverted {
+				return n.AddGate(KindNot, keep[0]), true
+			}
+			return keep[0], true
+		default:
+			return n.AddGate(kind, keep...), true
+		}
+	case KindXor, KindXnor:
+		phase := kind == KindXnor
+		keep := make([]NodeID, 0, len(fanins))
+		for _, f := range fanins {
+			if v, ok := constOf(f); ok {
+				if v {
+					phase = !phase
+				}
+				continue
+			}
+			keep = append(keep, f)
+		}
+		if len(keep) == len(fanins) {
+			return id, false
+		}
+		switch len(keep) {
+		case 0:
+			return n.AddConst(phase), true
+		case 1:
+			if phase {
+				return n.AddGate(KindNot, keep[0]), true
+			}
+			return n.AddGate(KindBuf, keep[0]), true
+		default:
+			k := KindXor
+			if phase {
+				k = KindXnor
+			}
+			return n.AddGate(k, keep...), true
+		}
+	}
+	return id, false
+}

@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPropagateConstantsRules(t *testing.T) {
+	build := func() (*Network, NodeID, NodeID, NodeID, NodeID) {
+		n := New("pc")
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		c0 := n.AddConst(false)
+		c1 := n.AddConst(true)
+		return n, a, b, c0, c1
+	}
+
+	cases := []struct {
+		name  string
+		setup func(n *Network, a, b, c0, c1 NodeID) NodeID // returns output driver
+		check func(t *testing.T, n *Network, a, b NodeID)
+	}{
+		{
+			"and with controlling zero",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindAnd, a, c0) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Kind(n.Outputs()[0].Node) != KindConst0 {
+					t.Fatalf("want const0, got %v", n.Kind(n.Outputs()[0].Node))
+				}
+			},
+		},
+		{
+			"nand with controlling zero",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindNand, a, c0) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Kind(n.Outputs()[0].Node) != KindConst1 {
+					t.Fatal("NAND with 0 must be const1")
+				}
+			},
+		},
+		{
+			"or with identity zero",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindOr, a, c0) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Outputs()[0].Node != a {
+					t.Fatal("OR(a,0) must collapse to a")
+				}
+			},
+		},
+		{
+			"nor with identity zero",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindNor, a, c0) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				drv := n.Outputs()[0].Node
+				if n.Kind(drv) != KindNot || n.Fanins(drv)[0] != a {
+					t.Fatal("NOR(a,0) must collapse to NOT(a)")
+				}
+			},
+		},
+		{
+			"xor absorbs const1 into phase",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindXor, a, b, c1) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Kind(n.Outputs()[0].Node) != KindXnor {
+					t.Fatalf("XOR(a,b,1) must become XNOR(a,b), got %v", n.Kind(n.Outputs()[0].Node))
+				}
+			},
+		},
+		{
+			"mux constant select",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindMux, c1, a, b) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Outputs()[0].Node != b {
+					t.Fatal("MUX(1,a,b) must collapse to b")
+				}
+			},
+		},
+		{
+			"buffer chain",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID {
+				return n.AddGate(KindBuf, n.AddGate(KindBuf, a))
+			},
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Outputs()[0].Node != a {
+					t.Fatal("BUF(BUF(a)) must collapse to a")
+				}
+			},
+		},
+		{
+			"not of constant",
+			func(n *Network, a, b, c0, c1 NodeID) NodeID { return n.AddGate(KindNot, c1) },
+			func(t *testing.T, n *Network, a, b NodeID) {
+				if n.Kind(n.Outputs()[0].Node) != KindConst0 {
+					t.Fatal("NOT(1) must be const0")
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, a, b, c0, c1 := build()
+			drv := c.setup(n, a, b, c0, c1)
+			n.AddOutput("o", drv)
+			n.PropagateConstants()
+			if err := n.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			c.check(t, n, a, b)
+		})
+	}
+}
+
+func TestPropagateConstantsPreservesBehaviour(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetwork(t, r, 5, 40)
+		// Inject constants: retarget some gate fanins to fresh constants.
+		c0 := n.AddConst(false)
+		c1 := n.AddConst(true)
+		for _, id := range n.LiveNodes() {
+			if !n.Kind(id).IsGate() || r.Intn(4) != 0 {
+				continue
+			}
+			f := n.Fanins(id)[0]
+			if f == c0 || f == c1 {
+				continue
+			}
+			if r.Intn(2) == 0 {
+				n.ReplaceFanin(id, f, c0)
+			} else {
+				n.ReplaceFanin(id, f, c1)
+			}
+		}
+		n.Sweep()
+		ref := n.Clone()
+		n.PropagateConstants()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		in := make([]bool, 5)
+		for k := 0; k < 40; k++ {
+			for i := range in {
+				in[i] = r.Intn(2) == 1
+			}
+			if !equalOutputs(ref, n, in) {
+				t.Fatalf("trial %d: behaviour changed", trial)
+			}
+		}
+		// No gate may still see a constant fanin except MUX data pins.
+		for _, id := range n.LiveNodes() {
+			if !n.Kind(id).IsGate() || n.Kind(id) == KindMux {
+				continue
+			}
+			for _, f := range n.Fanins(id) {
+				if n.Kind(f).IsConst() {
+					t.Fatalf("trial %d: %v gate %d still has constant fanin", trial, n.Kind(id), id)
+				}
+			}
+		}
+	}
+}
+
+func TestPropagateConstantsIdempotent(t *testing.T) {
+	n := New("idem")
+	a := n.AddInput("a")
+	c1 := n.AddConst(true)
+	g := n.AddGate(KindAnd, a, c1)
+	n.AddOutput("o", g)
+	if n.PropagateConstants() == 0 {
+		t.Fatal("first pass removed nothing")
+	}
+	if n.PropagateConstants() != 0 {
+		t.Fatal("second pass should be a no-op")
+	}
+}

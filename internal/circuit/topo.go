@@ -1,0 +1,141 @@
+package circuit
+
+import "fmt"
+
+// TopoOrder returns the live nodes in topological order (fanins before
+// fanouts). The result is cached until the network is edited. It panics if
+// the network contains a cycle; use Validate to get the error instead.
+func (n *Network) TopoOrder() []NodeID {
+	order, err := n.topoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+func (n *Network) topoOrder() ([]NodeID, error) {
+	if !n.topoDirty && n.topo != nil {
+		return n.topo, nil
+	}
+	// Kahn's algorithm over live nodes.
+	indeg := make([]int32, len(n.nodes))
+	live := 0
+	for i := range n.nodes {
+		if n.nodes[i].Kind == KindFree {
+			continue
+		}
+		live++
+		indeg[i] = int32(len(n.nodes[i].Fanins))
+	}
+	order := make([]NodeID, 0, live)
+	queue := make([]NodeID, 0, live)
+	for i := range n.nodes {
+		if n.nodes[i].Kind != KindFree && indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, fo := range n.nodes[id].fanouts {
+			indeg[fo]--
+			if indeg[fo] == 0 {
+				queue = append(queue, fo)
+			}
+		}
+	}
+	if len(order) != live {
+		return nil, fmt.Errorf("circuit: network %q contains a combinational cycle", n.Name)
+	}
+	n.topo = order
+	n.computeLevels(order)
+	n.topoDirty = false
+	return order, nil
+}
+
+func (n *Network) computeLevels(order []NodeID) {
+	if cap(n.levels) < len(n.nodes) {
+		n.levels = make([]int32, len(n.nodes))
+	} else {
+		n.levels = n.levels[:len(n.nodes)]
+		for i := range n.levels {
+			n.levels[i] = 0
+		}
+	}
+	for _, id := range order {
+		nd := &n.nodes[id]
+		if !nd.Kind.IsGate() {
+			n.levels[id] = 0
+			continue
+		}
+		max := int32(0)
+		for _, f := range nd.Fanins {
+			if l := n.levels[f]; l > max {
+				max = l
+			}
+		}
+		n.levels[id] = max + 1
+	}
+}
+
+// Level returns the unit-delay level of node id: 0 for inputs and
+// constants, 1 + max fanin level for gates.
+func (n *Network) Level(id NodeID) int {
+	n.TopoOrder()
+	return int(n.levels[id])
+}
+
+// Depth returns the maximum output level (levelised critical path in unit
+// delays). An empty network has depth 0.
+func (n *Network) Depth() int {
+	d := 0
+	for _, o := range n.outputs {
+		if l := n.Level(o.Node); l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// markDirty invalidates cached derived structures after an edit.
+func (n *Network) markDirty() { n.topoDirty = true }
+
+// TransitiveFanoutCone returns the set of nodes reachable from id through
+// fanout edges, including id itself. The result is a bitset indexed by
+// NodeID.
+func (n *Network) TransitiveFanoutCone(id NodeID) []bool {
+	seen := make([]bool, len(n.nodes))
+	stack := []NodeID{id}
+	seen[id] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range n.nodes[x].fanouts {
+			if !seen[fo] {
+				seen[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return seen
+}
+
+// TransitiveFaninCone returns the set of nodes feeding id (through fanin
+// edges), including id itself, as a bitset indexed by NodeID.
+func (n *Network) TransitiveFaninCone(id NodeID) []bool {
+	seen := make([]bool, len(n.nodes))
+	stack := []NodeID{id}
+	seen[id] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range n.nodes[x].Fanins {
+			if !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+// Metric selects the statistical error measure a flow optimises under.
+type Metric int
+
+// Supported statistical error measures.
+const (
+	MetricER  Metric = iota // error rate
+	MetricAEM               // average error magnitude
+)
+
+// String returns "ER" or "AEM".
+func (m Metric) String() string {
+	if m == MetricAEM {
+		return "AEM"
+	}
+	return "ER"
+}
+
+// Value extracts the metric's current value from an error state.
+func (m Metric) Value(st *emetric.State) float64 {
+	if m == MetricAEM {
+		return st.AvgErrorMagnitude()
+	}
+	return st.ErrorRate()
+}
+
+// ExactDelta computes the true increased error of forcing node nx to the
+// value vector newVal, by speculatively resimulating nx's fanout cone and
+// comparing outputs against the golden matrix in st — the "full simulation
+// method" the paper benchmarks against in Table 2 and that the CPM
+// estimator is validated against in tests. The value table is restored
+// before returning.
+func ExactDelta(n *circuit.Network, vals *sim.Values, nx circuit.NodeID,
+	newVal *bitvec.Vec, st *emetric.State, metric Metric) float64 {
+
+	snap := sim.SnapshotCone(n, vals, nx)
+	defer snap.Restore(vals)
+
+	before := metric.Value(st)
+	vals.Node(nx).CopyFrom(newVal)
+	sim.ResimulateCone(n, vals, nx)
+
+	after := valueAgainstGolden(n, vals, st, metric)
+	return after - before
+}
+
+// valueAgainstGolden measures the metric of the current value table's
+// outputs against the golden matrix st.U without disturbing st.
+func valueAgainstGolden(n *circuit.Network, vals *sim.Values, st *emetric.State, metric Metric) float64 {
+	outs := sim.OutputMatrix(n, vals)
+	tmp := emetric.NewState(st.U, outs)
+	return metric.Value(tmp)
+}

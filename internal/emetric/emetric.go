@@ -1,0 +1,185 @@
+// Package emetric computes statistical error measures between an original
+// circuit and an approximate version of it: error rate (ER), average error
+// magnitude (AEM), worst-case error magnitude and mean Hamming distance —
+// on a Monte Carlo pattern set or exhaustively.
+//
+// It also maintains the bookkeeping matrices of Section 4.3 of the paper:
+// W (which outputs are wrong per pattern), V (approximate output values)
+// and U (golden output values), which the batch estimator consumes and
+// which the ALS flow updates after each accepted transformation.
+package emetric
+
+import (
+	"fmt"
+	"math"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/sim"
+)
+
+// State carries the golden (U), approximate (V) and wrong-output (W)
+// matrices for a fixed pattern set, plus the derived any-wrong mask. Rows
+// are outputs; columns are patterns.
+type State struct {
+	M        int
+	U        *bitvec.Matrix // golden output values
+	V        *bitvec.Matrix // approximate output values
+	W        *bitvec.Matrix // W = U xor V
+	WrongAny *bitvec.Vec    // OR over outputs of W
+}
+
+// NewState builds the state for golden and approximate output matrices.
+// Both must have identical shape.
+func NewState(golden, approx *bitvec.Matrix) *State {
+	if golden.Rows() != approx.Rows() || golden.Bits() != approx.Bits() {
+		panic(fmt.Sprintf("emetric: shape mismatch %dx%d vs %dx%d",
+			golden.Rows(), golden.Bits(), approx.Rows(), approx.Bits()))
+	}
+	s := &State{
+		M: golden.Bits(),
+		U: golden,
+		V: approx,
+		W: bitvec.NewMatrix(golden.Rows(), golden.Bits()),
+	}
+	for o := 0; o < golden.Rows(); o++ {
+		s.W.Row(o).Xor(golden.Row(o), approx.Row(o))
+	}
+	s.WrongAny = s.W.OrAll()
+	return s
+}
+
+// StateFor simulates both networks on the pattern set and builds the state.
+func StateFor(golden, approx *circuit.Network, p *sim.Patterns) *State {
+	gv := sim.Simulate(golden, p)
+	av := sim.Simulate(approx, p)
+	return NewState(sim.OutputMatrix(golden, gv), sim.OutputMatrix(approx, av))
+}
+
+// RefreshRow recomputes W row o and the WrongAny mask after V row o has
+// been updated in place.
+func (s *State) RefreshRow(o int) {
+	s.W.Row(o).Xor(s.U.Row(o), s.V.Row(o))
+	s.WrongAny = s.W.OrAll()
+}
+
+// Refresh recomputes all W rows and the WrongAny mask from U and V.
+func (s *State) Refresh() {
+	for o := 0; o < s.W.Rows(); o++ {
+		s.W.Row(o).Xor(s.U.Row(o), s.V.Row(o))
+	}
+	s.WrongAny = s.W.OrAll()
+}
+
+// ErrorRate returns the fraction of patterns with at least one wrong
+// output.
+func (s *State) ErrorRate() float64 {
+	return float64(s.WrongAny.Count()) / float64(s.M)
+}
+
+// AvgErrorMagnitude returns the mean |approx - golden| over all patterns,
+// interpreting the output vector as an unsigned binary number with output
+// row 0 as the least significant bit. It requires at most 63 outputs.
+func (s *State) AvgErrorMagnitude() float64 {
+	if s.U.Rows() > 63 {
+		panic("emetric: AEM requires <= 63 outputs")
+	}
+	var total float64
+	// Only patterns with some wrong output contribute.
+	s.WrongAny.ForEachSet(func(i int) bool {
+		g := s.U.Column(i)
+		a := s.V.Column(i)
+		total += absDiffU64(a, g)
+		return true
+	})
+	return total / float64(s.M)
+}
+
+// WorstErrorMagnitude returns the maximum |approx - golden| over the
+// pattern set.
+func (s *State) WorstErrorMagnitude() float64 {
+	if s.U.Rows() > 63 {
+		panic("emetric: error magnitude requires <= 63 outputs")
+	}
+	worst := 0.0
+	s.WrongAny.ForEachSet(func(i int) bool {
+		g := s.U.Column(i)
+		a := s.V.Column(i)
+		if d := absDiffU64(a, g); d > worst {
+			worst = d
+		}
+		return true
+	})
+	return worst
+}
+
+// MeanHammingDistance returns the mean number of differing output bits per
+// pattern.
+func (s *State) MeanHammingDistance() float64 {
+	total := 0
+	for o := 0; o < s.W.Rows(); o++ {
+		total += s.W.Row(o).Count()
+	}
+	return float64(total) / float64(s.M)
+}
+
+func absDiffU64(a, b uint64) float64 {
+	if a >= b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+// MaxOutputValue returns 2^O - 1, the maximum number encodable by O
+// outputs; AEM thresholds are often specified as a fraction of this
+// ("AEM rate" in the paper's Fig. 5).
+func MaxOutputValue(numOutputs int) float64 {
+	return math.Pow(2, float64(numOutputs)) - 1
+}
+
+// Report bundles all supported measures for convenience.
+type Report struct {
+	ErrorRate     float64
+	AvgErrMag     float64
+	WorstErrMag   float64
+	MeanHamming   float64
+	NumPatterns   int
+	NumOutputs    int
+	AEMRate       float64 // AvgErrMag / MaxOutputValue
+	ExactMeasured bool    // true if produced by exhaustive enumeration
+}
+
+// Measure computes all metrics between golden and approx on the pattern
+// set. AEM fields are NaN when the output count exceeds 63.
+func Measure(golden, approx *circuit.Network, p *sim.Patterns) Report {
+	s := StateFor(golden, approx, p)
+	return reportFrom(s, false)
+}
+
+// MeasureExact computes all metrics by exhaustive enumeration of the input
+// space. It panics if the circuit has more than 26 inputs.
+func MeasureExact(golden, approx *circuit.Network) Report {
+	p := sim.ExhaustivePatterns(golden.NumInputs())
+	s := StateFor(golden, approx, p)
+	return reportFrom(s, true)
+}
+
+func reportFrom(s *State, exact bool) Report {
+	r := Report{
+		ErrorRate:     s.ErrorRate(),
+		MeanHamming:   s.MeanHammingDistance(),
+		NumPatterns:   s.M,
+		NumOutputs:    s.U.Rows(),
+		ExactMeasured: exact,
+	}
+	if s.U.Rows() <= 63 {
+		r.AvgErrMag = s.AvgErrorMagnitude()
+		r.WorstErrMag = s.WorstErrorMagnitude()
+		r.AEMRate = r.AvgErrMag / MaxOutputValue(s.U.Rows())
+	} else {
+		r.AvgErrMag = math.NaN()
+		r.WorstErrMag = math.NaN()
+		r.AEMRate = math.NaN()
+	}
+	return r
+}

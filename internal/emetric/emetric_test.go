@@ -1,0 +1,231 @@
+package emetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchals/internal/circuit"
+	"batchals/internal/sim"
+)
+
+// rca builds a width-bit ripple-carry adder (2*width inputs, width+1 outputs).
+func rca(t testing.TB, width int) *circuit.Network {
+	t.Helper()
+	n := circuit.New("rca")
+	a := make([]circuit.NodeID, width)
+	b := make([]circuit.NodeID, width)
+	for i := 0; i < width; i++ {
+		a[i] = n.AddInput("")
+	}
+	for i := 0; i < width; i++ {
+		b[i] = n.AddInput("")
+	}
+	var carry circuit.NodeID = circuit.InvalidNode
+	for i := 0; i < width; i++ {
+		x := n.AddGate(circuit.KindXor, a[i], b[i])
+		g := n.AddGate(circuit.KindAnd, a[i], b[i])
+		if carry == circuit.InvalidNode {
+			n.AddOutput("", x)
+			carry = g
+		} else {
+			s := n.AddGate(circuit.KindXor, x, carry)
+			p := n.AddGate(circuit.KindAnd, x, carry)
+			carry = n.AddGate(circuit.KindOr, g, p)
+			n.AddOutput("", s)
+		}
+	}
+	n.AddOutput("", carry)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// truncAdder drops the carry chain: each sum bit is just a XOR b.
+func truncAdder(t testing.TB, width int) *circuit.Network {
+	t.Helper()
+	n := circuit.New("trunc")
+	a := make([]circuit.NodeID, width)
+	b := make([]circuit.NodeID, width)
+	for i := 0; i < width; i++ {
+		a[i] = n.AddInput("")
+	}
+	for i := 0; i < width; i++ {
+		b[i] = n.AddInput("")
+	}
+	for i := 0; i < width; i++ {
+		n.AddOutput("", n.AddGate(circuit.KindXor, a[i], b[i]))
+	}
+	c := n.AddConst(false)
+	n.AddOutput("", c)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestIdenticalCircuitsZeroError(t *testing.T) {
+	g := rca(t, 3)
+	rep := MeasureExact(g, g.Clone())
+	if rep.ErrorRate != 0 || rep.AvgErrMag != 0 || rep.MeanHamming != 0 || rep.WorstErrMag != 0 {
+		t.Fatalf("nonzero error for identical circuits: %+v", rep)
+	}
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	width := 3
+	g := rca(t, width)
+	a := truncAdder(t, width)
+	rep := MeasureExact(g, a)
+
+	// Brute force with scalar evaluation.
+	nin := 2 * width
+	total := 1 << uint(nin)
+	wrong, magSum, ham := 0, 0.0, 0
+	worst := 0.0
+	in := make([]bool, nin)
+	for pat := 0; pat < total; pat++ {
+		for k := 0; k < nin; k++ {
+			in[k] = pat>>uint(k)&1 == 1
+		}
+		og := sim.EvalOne(g, in)
+		oa := sim.EvalOne(a, in)
+		diff := false
+		gv, av := 0, 0
+		for o := range og {
+			if og[o] != oa[o] {
+				diff = true
+				ham++
+			}
+			if og[o] {
+				gv |= 1 << uint(o)
+			}
+			if oa[o] {
+				av |= 1 << uint(o)
+			}
+		}
+		if diff {
+			wrong++
+		}
+		d := math.Abs(float64(gv - av))
+		magSum += d
+		if d > worst {
+			worst = d
+		}
+	}
+	wantER := float64(wrong) / float64(total)
+	wantAEM := magSum / float64(total)
+	wantHam := float64(ham) / float64(total)
+	if math.Abs(rep.ErrorRate-wantER) > 1e-12 {
+		t.Errorf("ER=%v want %v", rep.ErrorRate, wantER)
+	}
+	if math.Abs(rep.AvgErrMag-wantAEM) > 1e-9 {
+		t.Errorf("AEM=%v want %v", rep.AvgErrMag, wantAEM)
+	}
+	if math.Abs(rep.MeanHamming-wantHam) > 1e-12 {
+		t.Errorf("Hamming=%v want %v", rep.MeanHamming, wantHam)
+	}
+	if math.Abs(rep.WorstErrMag-worst) > 1e-12 {
+		t.Errorf("Worst=%v want %v", rep.WorstErrMag, worst)
+	}
+}
+
+func TestMCConvergesToExact(t *testing.T) {
+	g := rca(t, 4)
+	a := truncAdder(t, 4)
+	exact := MeasureExact(g, a)
+	p := sim.RandomPatterns(g.NumInputs(), 60000, 13)
+	mc := Measure(g, a, p)
+	if math.Abs(mc.ErrorRate-exact.ErrorRate) > 0.01 {
+		t.Errorf("MC ER %v far from exact %v", mc.ErrorRate, exact.ErrorRate)
+	}
+	if math.Abs(mc.AvgErrMag-exact.AvgErrMag) > 0.15 {
+		t.Errorf("MC AEM %v far from exact %v", mc.AvgErrMag, exact.AvgErrMag)
+	}
+}
+
+func TestStateRefreshRow(t *testing.T) {
+	g := rca(t, 2)
+	a := truncAdder(t, 2)
+	p := sim.ExhaustivePatterns(4)
+	s := StateFor(g, a, p)
+	er1 := s.ErrorRate()
+	// Fix output row 2 (carry bit region) to golden and refresh.
+	s.V.Row(2).CopyFrom(s.U.Row(2))
+	s.RefreshRow(2)
+	er2 := s.ErrorRate()
+	if er2 > er1 {
+		t.Fatalf("fixing an output increased ER: %v -> %v", er1, er2)
+	}
+	// Full refresh must agree.
+	s.Refresh()
+	if s.ErrorRate() != er2 {
+		t.Fatal("Refresh disagrees with RefreshRow")
+	}
+}
+
+func TestMaxOutputValue(t *testing.T) {
+	if MaxOutputValue(4) != 15 {
+		t.Fatal("MaxOutputValue(4) != 15")
+	}
+	if MaxOutputValue(1) != 1 {
+		t.Fatal("MaxOutputValue(1) != 1")
+	}
+}
+
+func TestAEMRateInReport(t *testing.T) {
+	g := rca(t, 3)
+	a := truncAdder(t, 3)
+	rep := MeasureExact(g, a)
+	want := rep.AvgErrMag / MaxOutputValue(rep.NumOutputs)
+	if math.Abs(rep.AEMRate-want) > 1e-12 {
+		t.Fatalf("AEMRate=%v want %v", rep.AEMRate, want)
+	}
+}
+
+func TestErrorRateSymmetry(t *testing.T) {
+	// ER(g,a) == ER(a,g): wrongness is symmetric.
+	g := rca(t, 3)
+	a := truncAdder(t, 3)
+	p := sim.RandomPatterns(6, 5000, 3)
+	if Measure(g, a, p).ErrorRate != Measure(a, g, p).ErrorRate {
+		t.Fatal("ER not symmetric")
+	}
+}
+
+func TestManyOutputsAEMIsNaN(t *testing.T) {
+	n := circuit.New("wide")
+	in := n.AddInput("a")
+	inv := n.AddGate(circuit.KindNot, in)
+	for i := 0; i < 70; i++ {
+		n.AddOutput("", inv)
+	}
+	m := n.Clone()
+	p := sim.RandomPatterns(1, 64, 1)
+	rep := Measure(n, m, p)
+	if !math.IsNaN(rep.AvgErrMag) {
+		t.Fatal("AEM should be NaN for >63 outputs")
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatal("ER should still work")
+	}
+}
+
+func TestRandomizedConsistencyERvsHamming(t *testing.T) {
+	// Property: ER <= MeanHamming <= ER * numOutputs.
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		width := 2 + r.Intn(3)
+		g := rca(t, width)
+		a := truncAdder(t, width)
+		p := sim.RandomPatterns(2*width, 2000, int64(trial))
+		rep := Measure(g, a, p)
+		if rep.MeanHamming < rep.ErrorRate-1e-12 {
+			t.Fatalf("Hamming %v < ER %v", rep.MeanHamming, rep.ErrorRate)
+		}
+		if rep.MeanHamming > rep.ErrorRate*float64(rep.NumOutputs)+1e-12 {
+			t.Fatalf("Hamming %v > ER*O", rep.MeanHamming)
+		}
+	}
+}

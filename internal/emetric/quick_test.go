@@ -1,0 +1,109 @@
+package emetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"batchals/internal/bitvec"
+)
+
+// randomState builds a State from random golden/approx output matrices.
+func randomState(r *rand.Rand, outs, m int) *State {
+	g := bitvec.NewMatrix(outs, m)
+	a := bitvec.NewMatrix(outs, m)
+	for o := 0; o < outs; o++ {
+		for i := 0; i < m; i++ {
+			g.Set(o, i, r.Intn(2) == 1)
+			a.Set(o, i, r.Intn(2) == 1)
+		}
+	}
+	return NewState(g, a)
+}
+
+// TestQuickERBounds: ER is always in [0,1], Hamming in [0,O], AEM in
+// [0, 2^O - 1], and ER == 0 iff Hamming == 0.
+func TestQuickERBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		outs := 1 + r.Intn(10)
+		m := 1 + r.Intn(300)
+		s := randomState(r, outs, m)
+		er := s.ErrorRate()
+		ham := s.MeanHammingDistance()
+		aem := s.AvgErrorMagnitude()
+		if er < 0 || er > 1 {
+			return false
+		}
+		if ham < 0 || ham > float64(outs) {
+			return false
+		}
+		if aem < 0 || aem > MaxOutputValue(outs) {
+			return false
+		}
+		if (er == 0) != (ham == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRefreshIdempotent: Refresh never changes anything unless U or V
+// changed; refreshing twice equals refreshing once.
+func TestQuickRefreshIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r, 1+r.Intn(6), 1+r.Intn(200))
+		before := s.ErrorRate()
+		s.Refresh()
+		mid := s.ErrorRate()
+		s.Refresh()
+		return before == mid && mid == s.ErrorRate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFixingOneOutputNeverIncreasesER: copying one golden row into V
+// can only reduce (or keep) the error rate.
+func TestQuickFixingOneOutputNeverIncreasesER(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		outs := 1 + r.Intn(8)
+		s := randomState(r, outs, 1+r.Intn(200))
+		before := s.ErrorRate()
+		o := r.Intn(outs)
+		s.V.Row(o).CopyFrom(s.U.Row(o))
+		s.RefreshRow(o)
+		return s.ErrorRate() <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAEMTriangle: AEM between golden and approx is bounded by the sum
+// of per-output contributions (each wrong bit o contributes at most 2^o per
+// pattern).
+func TestQuickAEMTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		outs := 1 + r.Intn(8)
+		m := 1 + r.Intn(150)
+		s := randomState(r, outs, m)
+		bound := 0.0
+		for o := 0; o < outs; o++ {
+			bound += float64(s.W.Row(o).Count()) * math.Pow(2, float64(o))
+		}
+		bound /= float64(m)
+		return s.AvgErrorMagnitude() <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"batchals/internal/bench"
+	"batchals/internal/cell"
+	"batchals/internal/core"
+	"batchals/internal/sasimi"
+)
+
+func defaultLib() *cell.Library { return cell.Default() }
+
+// ComplexityRow records one point of the §4.4 scaling experiment: for a
+// synthetic circuit of N nodes, the time for one complete batch estimation
+// of all candidates versus one complete full-simulation estimation.
+type ComplexityRow struct {
+	Nodes      int
+	Outputs    int
+	Candidates int
+	BatchTime  time.Duration
+	FullTime   time.Duration
+	SpeedUp    float64
+}
+
+// Complexity measures batch vs full estimation cost on synthetic circuits
+// of increasing size, demonstrating the Θ(M·O·T) vs Θ(M·N·T) separation:
+// the speed-up should grow roughly with N/O as circuits grow.
+func Complexity(opt Options) ([]ComplexityRow, error) {
+	opt = opt.fill()
+	sizes := []float64{150, 300, 600, 1200}
+	if opt.Fast {
+		sizes = sizes[:2]
+	}
+	var rows []ComplexityRow
+	for i, area := range sizes {
+		golden := bench.Synthetic(fmt.Sprintf("scale%d", i), 24, 8, area, int64(1000+i))
+		base := sasimi.Config{
+			Metric:      core.MetricER,
+			Threshold:   1, // estimation only; no feasibility pruning
+			NumPatterns: opt.M,
+			Seed:        opt.Seed,
+		}
+
+		cfgB := base
+		cfgB.Estimator = sasimi.EstimatorBatch
+		start := time.Now()
+		cands, err := sasimi.EstimateAll(golden, golden.Clone(), cfgB)
+		if err != nil {
+			return nil, err
+		}
+		batchTime := time.Since(start)
+
+		cfgF := base
+		cfgF.Estimator = sasimi.EstimatorFull
+		start = time.Now()
+		if _, err := sasimi.EstimateAll(golden, golden.Clone(), cfgF); err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(start)
+
+		row := ComplexityRow{
+			Nodes:      golden.NumNodes(),
+			Outputs:    golden.NumOutputs(),
+			Candidates: len(cands),
+			BatchTime:  batchTime,
+			FullTime:   fullTime,
+		}
+		if batchTime > 0 {
+			row.SpeedUp = float64(fullTime) / float64(batchTime)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderComplexity formats the scaling measurement.
+func RenderComplexity(rows []ComplexityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Section 4.4: batch vs full estimation scaling (one iteration, all candidates)\n")
+	fmt.Fprintf(&sb, "%8s %8s %11s %12s %12s %9s\n",
+		"nodes", "outputs", "candidates", "batch.time", "full.time", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %8d %11d %12s %12s %8.1fx\n",
+			r.Nodes, r.Outputs, r.Candidates,
+			r.BatchTime.Round(time.Millisecond), r.FullTime.Round(time.Millisecond), r.SpeedUp)
+	}
+	return sb.String()
+}

@@ -1,0 +1,177 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/sasimi"
+)
+
+// Fig1Point is one iteration of one flow variant on the Fig. 1 motivating
+// experiment: the measured error rate against the achieved area reduction.
+type Fig1Point struct {
+	Iter          int
+	AreaReduction float64 // 1 - area/original
+	ErrorRate     float64 // measured ER after the iteration
+}
+
+// Fig1Data carries both curves of the motivating example: the flow with
+// accurate (batch) estimation versus without (local estimation), on c7552
+// under a 1% ER budget.
+type Fig1Data struct {
+	Circuit   string
+	Threshold float64
+	Accurate  []Fig1Point // batch estimation (paper's red curve)
+	Baseline  []Fig1Point // local estimation (paper's blue curve)
+}
+
+// Fig1 regenerates the motivating example of the paper's introduction.
+func Fig1(opt Options) (*Fig1Data, error) {
+	opt = opt.fill()
+	name := "c7552"
+	if opt.Fast {
+		name = "c880"
+	}
+	golden := benchOrDie(name, bench.ByName)
+	data := &Fig1Data{Circuit: name, Threshold: 0.01}
+
+	for _, variant := range []struct {
+		est  sasimi.EstimatorKind
+		dest *[]Fig1Point
+	}{
+		{sasimi.EstimatorBatch, &data.Accurate},
+		{sasimi.EstimatorLocal, &data.Baseline},
+	} {
+		res, err := sasimi.Run(golden, sasimi.Config{
+			Metric:      core.MetricER,
+			Threshold:   data.Threshold,
+			NumPatterns: opt.M,
+			Seed:        opt.Seed,
+			Estimator:   variant.est,
+			KeepTrace:   true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %v: %w", variant.est, err)
+		}
+		for _, it := range res.Iterations {
+			*variant.dest = append(*variant.dest, Fig1Point{
+				Iter:          it.Iter,
+				AreaReduction: 1 - it.Area/res.OriginalArea,
+				ErrorRate:     it.ActualErr,
+			})
+		}
+	}
+	return data, nil
+}
+
+// RenderFig1 prints both curves as aligned series.
+func RenderFig1(d *Fig1Data) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 1: ER vs area reduction on %s (ER <= %.1f%%)\n",
+		d.Circuit, d.Threshold*100)
+	fmt.Fprintf(&sb, "%-28s | %-28s\n", "with accurate estimation", "without accurate estimation")
+	fmt.Fprintf(&sb, "%4s %10s %10s | %4s %10s %10s\n",
+		"iter", "areared%", "ER%", "iter", "areared%", "ER%")
+	n := len(d.Accurate)
+	if len(d.Baseline) > n {
+		n = len(d.Baseline)
+	}
+	for i := 0; i < n; i++ {
+		left, right := "", ""
+		if i < len(d.Accurate) {
+			p := d.Accurate[i]
+			left = fmt.Sprintf("%4d %9.2f%% %9.3f%%", p.Iter, p.AreaReduction*100, p.ErrorRate*100)
+		}
+		if i < len(d.Baseline) {
+			p := d.Baseline[i]
+			right = fmt.Sprintf("%4d %9.2f%% %9.3f%%", p.Iter, p.AreaReduction*100, p.ErrorRate*100)
+		}
+		fmt.Fprintf(&sb, "%-28s | %-28s\n", left, right)
+	}
+	accRed, basRed := 0.0, 0.0
+	if len(d.Accurate) > 0 {
+		accRed = d.Accurate[len(d.Accurate)-1].AreaReduction
+	}
+	if len(d.Baseline) > 0 {
+		basRed = d.Baseline[len(d.Baseline)-1].AreaReduction
+	}
+	fmt.Fprintf(&sb, "final reduction: accurate %.2f%% vs baseline %.2f%% (delta %.2f%%)\n",
+		accRed*100, basRed*100, (accRed-basRed)*100)
+	return sb.String()
+}
+
+// Fig3Point is one iteration of the estimator-tracking experiment: the
+// accumulated estimated ER (EER) against the simulated ER (SER).
+type Fig3Point struct {
+	Iter int
+	EER  float64 // accumulated batch estimate
+	SER  float64 // measured on the flow's pattern set
+}
+
+// Fig3Series is the EER/SER trajectory for one benchmark.
+type Fig3Series struct {
+	Circuit string
+	Points  []Fig3Point
+}
+
+// fig3Jobs maps each Fig. 3 benchmark to its ER budget. The paper's RCA32
+// (a SIS-mapped netlist) admits fine-grained substitutions; our clean
+// XOR-structured RCA32 has no sub-4%-ER candidates under uniform inputs,
+// so its budget is raised to observe a trajectory at all, and CLA32 is
+// added as the arithmetic circuit with a rich low-error candidate set on
+// this substrate (see EXPERIMENTS.md).
+var fig3Jobs = []struct {
+	name      string
+	threshold float64
+}{
+	{"c880", 0.05},
+	{"c2670", 0.05},
+	{"rca32", 0.25},
+	{"cla32", 0.05},
+}
+
+// Fig3 regenerates the estimation-accuracy trajectories (§5.3).
+func Fig3(opt Options) ([]Fig3Series, error) {
+	opt = opt.fill()
+	jobs := fig3Jobs
+	if opt.Fast {
+		jobs = jobs[:1] // c880 only
+	}
+	var out []Fig3Series
+	for _, j := range jobs {
+		name := j.name
+		golden := benchOrDie(name, bench.ByName)
+		res, err := sasimi.Run(golden, sasimi.Config{
+			Metric:      core.MetricER,
+			Threshold:   j.threshold,
+			NumPatterns: opt.M,
+			Seed:        opt.Seed,
+			Estimator:   sasimi.EstimatorBatch,
+			KeepTrace:   true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", name, err)
+		}
+		s := Fig3Series{Circuit: name}
+		for _, it := range res.Iterations {
+			s.Points = append(s.Points, Fig3Point{Iter: it.Iter, EER: it.EstAccum, SER: it.ActualErr})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RenderFig3 prints one block per benchmark.
+func RenderFig3(series []Fig3Series) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 3: estimated ER (EER) vs simulated ER (SER) per iteration\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "-- %s --\n%4s %10s %10s %10s\n", s.Circuit, "iter", "EER%", "SER%", "gap")
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%4d %9.3f%% %9.3f%% %9.4f\n", p.Iter, p.EER*100, p.SER*100, p.EER-p.SER)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation section (Section 5) on this library's substrates. One exported
+// function per experiment returns typed rows; Render* helpers format them
+// as text tables in the layout of the paper.
+//
+// Absolute numbers differ from the paper — the circuits are this library's
+// generators (and synthetic stand-ins for ISCAS85, see DESIGN.md) and the
+// host is not the authors' machine — but each experiment preserves the
+// comparison the paper makes: who wins, by roughly what factor, and how
+// quality moves with the threshold. Paper-reported values are embedded as
+// reference columns where the paper tabulates them.
+package repro
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// Options controls experiment scale. The zero value gives a configuration
+// that finishes in minutes on a laptop; the paper-scale settings (M=100000)
+// are a matter of raising M.
+type Options struct {
+	// M is the Monte Carlo sample count per flow run (default 2000;
+	// paper: 10000 for Table 1, 100000 elsewhere).
+	M int
+	// Seed drives all pattern generation (default 1).
+	Seed int64
+	// Fast trims large circuits and sweep points to smoke-test scale.
+	Fast bool
+}
+
+func (o Options) fill() Options {
+	if o.M == 0 {
+		o.M = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// benchOrDie builds a registered benchmark and panics on unknown names;
+// experiment tables are static, so a failure is a programming error.
+func benchOrDie(name string, build func(string) (*circuit.Network, error)) *circuit.Network {
+	n, err := build(name)
+	if err != nil {
+		panic(fmt.Sprintf("repro: %v", err))
+	}
+	return n
+}
+
+// erThresholds are the seven ER thresholds of Fig. 4 / Table 3 (fractions).
+var erThresholds = []float64{0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05}
+
+// aemRateThresholds are the AEM-rate sweep points of Fig. 5 / Table 4, as
+// fractions of the maximum output value.
+var aemRateThresholds = []float64{0.0005, 0.001, 0.002, 0.005, 0.01}
+
+// table3Benchmarks lists the twelve benchmarks of Fig. 4 / Table 3 in the
+// paper's order, with the paper's reported columns for reference.
+var table3Benchmarks = []struct {
+	name       string
+	paperArea  float64 // paper's "original area"
+	paperIO    string
+	paperCPM   float64 // paper's CPM-runtime percentage
+	paperSAS   float64 // paper: original SASIMI average area ratio
+	paperWu    float64 // paper: Wu's method average area ratio
+	paperModif float64 // paper: modified SASIMI average area ratio
+}{
+	{"c880", 599, "60/26", 4.9, 0.896, 0.893, 0.873},
+	{"c1908", 1013, "33/25", 4.1, 0.610, 0.595, 0.592},
+	{"c2670", 1434, "233/140", 4.8, 0.724, 0.662, 0.647},
+	{"c3540", 1615, "50/22", 2.3, 0.975, 0.966, 0.936},
+	{"c5315", 2432, "178/123", 2.9, 0.981, 0.978, 0.946},
+	{"c7552", 2759, "207/108", 1.3, 0.948, 0.940, 0.876},
+	{"alu4", 2740, "14/8", 2.0, 0.892, 0.878, 0.751},
+	{"rca32", 691, "64/33", 5.4, 0.972, 0.970, 0.961},
+	{"cla32", 1063, "64/33", 4.7, 0.829, 0.822, 0.766},
+	{"ksa32", 1128, "64/33", 4.9, 0.848, 0.849, 0.840},
+	{"mul8", 1276, "16/16", 2.9, 0.829, 0.819, 0.797},
+	{"wtm8", 1104, "16/16", 2.2, 0.959, 0.953, 0.945},
+}
+
+// table4Benchmarks lists the five arithmetic benchmarks of Fig. 5 /
+// Table 4 with the paper's reported average area ratios.
+var table4Benchmarks = []struct {
+	name       string
+	paperSAS   float64 // paper: original SASIMI
+	paperModif float64 // paper: modified SASIMI
+}{
+	{"rca32", 0.555, 0.186},
+	{"cla32", 0.423, 0.140},
+	{"ksa32", 0.673, 0.133},
+	{"mul8", 0.626, 0.480},
+	{"wtm8", 0.863, 0.429},
+}

@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var fast = Options{M: 600, Seed: 1, Fast: true}
+
+func TestTable1Fast(t *testing.T) {
+	rows, err := Table1(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 {
+		t.Fatalf("expected 12 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Simulated < 0 || r.Exact < 0 {
+			t.Fatalf("negative error in row %+v", r)
+		}
+		// MC estimate must be in the neighbourhood of the exact value;
+		// both absolute and relative slack since small ERs are noisy at
+		// low M.
+		if math.Abs(r.Simulated-r.Exact) > 0.05*math.Max(1, r.Exact)+0.02*math.Max(r.Exact, 0.01)*50 {
+			t.Fatalf("MC far from exact: %+v", r)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "alu4") || !strings.Contains(out, "wtm8") {
+		t.Fatal("render missing circuits")
+	}
+}
+
+func TestFig1Fast(t *testing.T) {
+	d, err := Fig1(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Accurate) == 0 {
+		t.Fatal("accurate flow made no iterations")
+	}
+	// The headline of the motivating example: the accurate flow achieves
+	// at least as much reduction as the baseline.
+	accRed := d.Accurate[len(d.Accurate)-1].AreaReduction
+	basRed := 0.0
+	if len(d.Baseline) > 0 {
+		basRed = d.Baseline[len(d.Baseline)-1].AreaReduction
+	}
+	if accRed < basRed-1e-9 {
+		t.Fatalf("accurate reduction %.4f < baseline %.4f", accRed, basRed)
+	}
+	for _, p := range append(append([]Fig1Point{}, d.Accurate...), d.Baseline...) {
+		if p.ErrorRate > 0.01+1e-9 {
+			t.Fatalf("point above threshold: %+v", p)
+		}
+	}
+	if !strings.Contains(RenderFig1(d), "Fig 1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig3Fast(t *testing.T) {
+	series, err := Fig3(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("expected 1 series in fast mode, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: no iterations", s.Circuit)
+		}
+		for _, p := range s.Points {
+			if math.Abs(p.EER-p.SER) > 0.05 {
+				t.Fatalf("%s iter %d: EER %v far from SER %v", s.Circuit, p.Iter, p.EER, p.SER)
+			}
+		}
+	}
+	if !strings.Contains(RenderFig3(series), "EER") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable2Fast(t *testing.T) {
+	rows, err := Table2(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("fast mode should test rca32 only, got %d rows", len(rows))
+	}
+	r := rows[0]
+	// Same quality within a small slack, and batch must not be slower.
+	if math.Abs(r.FullArea-r.BatchArea)/r.OriginalArea > 0.05 {
+		t.Fatalf("quality mismatch: full %v vs batch %v", r.FullArea, r.BatchArea)
+	}
+	// In fast mode rca32 accepts almost no substitutions, so both flows are
+	// milliseconds and the ratio is noisy; only guard against a gross
+	// inversion. The real separation is asserted by TestComplexityFast and
+	// the full-scale run.
+	if r.SpeedUp < 0.5 {
+		t.Fatalf("batch grossly slower than full simulation: speedup %.2f", r.SpeedUp)
+	}
+	if !strings.Contains(RenderTable2(rows), "speedup") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig4Table3Fast(t *testing.T) {
+	series, err := Fig4(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) != len(erThresholds) {
+			t.Fatalf("%s: %d points", s.Circuit, len(s.Points))
+		}
+		// Area ratio must be monotone non-increasing in the threshold
+		// (a looser budget can never force a bigger circuit) — up to MC
+		// noise; allow a tiny slack.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].AreaRatio > s.Points[i-1].AreaRatio+0.02 {
+				t.Fatalf("%s: ratio increased with budget: %+v", s.Circuit, s.Points)
+			}
+		}
+		for _, p := range s.Points {
+			if p.AreaRatio <= 0 || p.AreaRatio > 1 {
+				t.Fatalf("%s: ratio %v out of range", s.Circuit, p.AreaRatio)
+			}
+		}
+	}
+
+	rows, err := Table3(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BatchRatio > r.LocalRatio+1e-9 {
+			t.Fatalf("%s: batch ratio %.3f worse than local %.3f", r.Circuit, r.BatchRatio, r.LocalRatio)
+		}
+		if r.CPMShare < 0 || r.CPMShare > 0.8 {
+			t.Fatalf("%s: implausible CPM share %v", r.Circuit, r.CPMShare)
+		}
+	}
+	if !strings.Contains(RenderTable3(rows), "mean") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig5Table4Fast(t *testing.T) {
+	series, err := Fig5(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) != len(aemRateThresholds) {
+			t.Fatalf("%s: %d points", s.Circuit, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].AreaRatio > s.Points[i-1].AreaRatio+0.02 {
+				t.Fatalf("%s: ratio increased with budget", s.Circuit)
+			}
+		}
+	}
+	rows, err := Table4(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BatchRatio > r.LocalRatio+1e-9 {
+			t.Fatalf("%s: batch %.3f worse than local %.3f under AEM", r.Circuit, r.BatchRatio, r.LocalRatio)
+		}
+	}
+	if !strings.Contains(RenderTable4(rows), "p.modif") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestComplexityFast(t *testing.T) {
+	rows, err := Complexity(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("fast mode rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Candidates == 0 {
+			t.Fatal("no candidates")
+		}
+	}
+	// Tiny circuits finish in single-digit milliseconds where scheduler
+	// noise can invert the ratio; the complexity separation is asserted at
+	// the largest size, where it is decisive.
+	if last := rows[len(rows)-1]; last.SpeedUp < 1 {
+		t.Fatalf("batch estimation slower than full at N=%d: %.2fx", last.Nodes, last.SpeedUp)
+	}
+	if !strings.Contains(RenderComplexity(rows), "speedup") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFlowsFast(t *testing.T) {
+	rows, err := Flows(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("fast mode rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, ratio := range []float64{r.SASIMIRatio, r.SnapRatio, r.StochRatio} {
+			if ratio <= 0 || ratio > 1 {
+				t.Fatalf("%s: ratio %v out of range", r.Circuit, ratio)
+			}
+		}
+		// SASIMI's move set subsumes constant substitutions, so it should
+		// not lose badly to the other flows at the same budget.
+		if r.SASIMIRatio > r.SnapRatio+0.05 {
+			t.Fatalf("%s: sasimi %.3f much worse than snap %.3f", r.Circuit, r.SASIMIRatio, r.SnapRatio)
+		}
+	}
+	if !strings.Contains(RenderFlows(rows), "sasimi") {
+		t.Fatal("render broken")
+	}
+}

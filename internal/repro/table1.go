@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/emetric"
+	"batchals/internal/sasimi"
+	"batchals/internal/sim"
+)
+
+// Table1Row compares the Monte Carlo estimate of a statistical error
+// measure against its exact enumerated value for one approximate circuit
+// (§5.2 of the paper: SER vs AER, SAEM vs AAEM).
+type Table1Row struct {
+	Circuit   string
+	Metric    core.Metric
+	Level     int     // approximation level (increasing error budget)
+	Threshold float64 // budget that produced the approximate circuit
+	Simulated float64 // MC estimate (SER or SAEM)
+	Exact     float64 // exhaustive value (AER or AAEM)
+}
+
+// Table1 regenerates the MC-accuracy experiment: approximate circuits of
+// increasing error are produced for alu4 and WTM8 under ER and for MUL8 and
+// WTM8 under AEM; each is then measured by MC simulation (a fresh pattern
+// seed, M patterns) and by exhaustive enumeration (these circuits have at
+// most 16 inputs).
+func Table1(opt Options) ([]Table1Row, error) {
+	opt = opt.fill()
+	erLevels := []float64{0.004, 0.006, 0.01, 0.015, 0.03, 0.05}
+	aemLevels := []float64{2, 4, 8, 16, 30, 64}
+	if opt.Fast {
+		erLevels = erLevels[:3]
+		aemLevels = aemLevels[:3]
+	}
+
+	type job struct {
+		circuit string
+		metric  core.Metric
+		levels  []float64
+	}
+	jobs := []job{
+		{"alu4", core.MetricER, erLevels},
+		{"wtm8", core.MetricER, erLevels},
+		{"mul8", core.MetricAEM, aemLevels},
+		{"wtm8", core.MetricAEM, aemLevels},
+	}
+
+	var rows []Table1Row
+	for _, j := range jobs {
+		golden := benchOrDie(j.circuit, bench.ByName)
+		for lvl, th := range j.levels {
+			res, err := sasimi.Run(golden, sasimi.Config{
+				Metric:      j.metric,
+				Threshold:   th,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+				Estimator:   sasimi.EstimatorBatch,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s level %d: %w", j.circuit, lvl, err)
+			}
+			// Measure with a fresh pattern seed so the MC estimate is
+			// independent of the patterns that guided the flow.
+			p := sim.RandomPatterns(golden.NumInputs(), opt.M, opt.Seed+1000)
+			mc := emetric.Measure(golden, res.Approx, p)
+			exact := emetric.MeasureExact(golden, res.Approx)
+			simV, exV := mc.ErrorRate, exact.ErrorRate
+			if j.metric == core.MetricAEM {
+				simV, exV = mc.AvgErrMag, exact.AvgErrMag
+			}
+			rows = append(rows, Table1Row{
+				Circuit:   j.circuit,
+				Metric:    j.metric,
+				Level:     lvl + 1,
+				Threshold: th,
+				Simulated: simV,
+				Exact:     exV,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table 1 rows in the paper's layout (one block per
+// circuit/metric pair).
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: simulated vs accurate error (MC accuracy)\n")
+	sb.WriteString(fmt.Sprintf("%-8s %-6s %5s %12s %12s %9s\n",
+		"circuit", "metric", "level", "simulated", "exact", "rel.err"))
+	for _, r := range rows {
+		rel := 0.0
+		if r.Exact != 0 {
+			rel = (r.Simulated - r.Exact) / r.Exact
+		}
+		sb.WriteString(fmt.Sprintf("%-8s %-6s %5d %12.5f %12.5f %8.1f%%\n",
+			r.Circuit, r.Metric, r.Level, r.Simulated, r.Exact, rel*100))
+	}
+	return sb.String()
+}

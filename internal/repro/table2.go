@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/sasimi"
+)
+
+// Table2Row compares the full-simulation estimator against the batch
+// estimator on one benchmark (§5.4): same flow, same budget, final area and
+// wall-clock for each, plus the speed-up ratio.
+type Table2Row struct {
+	Circuit      string
+	OriginalArea float64
+	FullArea     float64
+	FullTime     time.Duration
+	BatchArea    float64
+	BatchTime    time.Duration
+	SpeedUp      float64
+	// Paper-reported values for side-by-side reference.
+	PaperSpeedUp float64
+}
+
+var table2Paper = map[string]float64{"c880": 74.4, "c1908": 211, "rca32": 32.4}
+
+// Table2 regenerates the runtime comparison on c880, c1908 and RCA32 under
+// a 1% ER constraint.
+func Table2(opt Options) ([]Table2Row, error) {
+	opt = opt.fill()
+	names := []string{"c880", "c1908", "rca32"}
+	if opt.Fast {
+		names = []string{"rca32"}
+	}
+	var rows []Table2Row
+	for _, name := range names {
+		golden := benchOrDie(name, bench.ByName)
+		base := sasimi.Config{
+			Metric:      core.MetricER,
+			Threshold:   0.01,
+			NumPatterns: opt.M,
+			Seed:        opt.Seed,
+		}
+		cfgFull := base
+		cfgFull.Estimator = sasimi.EstimatorFull
+		full, err := sasimi.Run(golden, cfgFull)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s full: %w", name, err)
+		}
+		cfgBatch := base
+		cfgBatch.Estimator = sasimi.EstimatorBatch
+		batch, err := sasimi.Run(golden, cfgBatch)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s batch: %w", name, err)
+		}
+		row := Table2Row{
+			Circuit:      name,
+			OriginalArea: full.OriginalArea,
+			FullArea:     full.FinalArea,
+			FullTime:     full.TotalTime,
+			BatchArea:    batch.FinalArea,
+			BatchTime:    batch.TotalTime,
+			PaperSpeedUp: table2Paper[name],
+		}
+		if batch.TotalTime > 0 {
+			row.SpeedUp = float64(full.TotalTime) / float64(batch.TotalTime)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats the comparison in the paper's column layout.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: full simulation vs batch estimation (ER <= 1%)\n")
+	fmt.Fprintf(&sb, "%-8s %9s | %9s %12s | %9s %12s | %8s %10s\n",
+		"circuit", "orig", "full.area", "full.time", "batch.area", "batch.time", "speedup", "paper.spd")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %9.0f | %9.0f %12s | %9.0f %12s | %7.1fx %9.1fx\n",
+			r.Circuit, r.OriginalArea, r.FullArea, r.FullTime.Round(time.Millisecond),
+			r.BatchArea, r.BatchTime.Round(time.Millisecond), r.SpeedUp, r.PaperSpeedUp)
+	}
+	return sb.String()
+}

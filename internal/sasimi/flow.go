@@ -1,0 +1,350 @@
+package sasimi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/cell"
+	"batchals/internal/circuit"
+	"batchals/internal/core"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+// Config parameterises one flow run. Zero values are filled with sensible
+// defaults by Run; only Threshold must be set by the caller.
+type Config struct {
+	// Metric is the statistical error measure the Threshold constrains.
+	Metric core.Metric
+	// Threshold is the error budget: a fraction in [0,1] for ER, an
+	// absolute magnitude for AEM.
+	Threshold float64
+	// Estimator chooses the per-candidate error estimation method.
+	Estimator EstimatorKind
+	// NumPatterns is the Monte Carlo sample size M (default 10000).
+	NumPatterns int
+	// Seed drives the pattern generator; the same seed reproduces the
+	// whole flow bit-for-bit.
+	Seed int64
+	// Patterns, when non-nil, overrides NumPatterns/Seed with a
+	// caller-provided (possibly non-uniform) pattern set.
+	Patterns *sim.Patterns
+	// SimilarityCap is the maximum local difference probability for a pair
+	// to be considered almost-identical (default 0.3).
+	SimilarityCap float64
+	// MaxCandidates caps candidates evaluated per iteration (0 = all).
+	MaxCandidates int
+	// VerifyTopK, when positive, re-evaluates the K best-scoring feasible
+	// candidates of each iteration with exact fanout-cone resimulation
+	// before committing to one. This implements the mitigation the paper
+	// lists as future work for the reconvergent-path inaccuracy: the batch
+	// estimate ranks all T candidates cheaply, exact simulation then
+	// settles the winner among K ≪ T. Costs K cone resimulations per
+	// iteration; ignored by EstimatorFull (already exact).
+	VerifyTopK int
+	// MaxIterations stops the flow after this many accepted substitutions
+	// (0 = unlimited).
+	MaxIterations int
+	// Library provides area and delay figures (default cell.Default()).
+	Library *cell.Library
+	// KeepTrace records a per-iteration IterationRecord in the result.
+	KeepTrace bool
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.NumPatterns == 0 {
+		cfg.NumPatterns = 10000
+	}
+	if cfg.SimilarityCap == 0 {
+		cfg.SimilarityCap = 0.3
+	}
+	if cfg.Library == nil {
+		cfg.Library = cell.Default()
+	}
+}
+
+// IterationRecord captures one accepted substitution, for the paper's
+// per-iteration figures (Fig. 1, Fig. 3).
+type IterationRecord struct {
+	Iter       int
+	Target     string  // name of the substituted signal
+	Sub        string  // name of the substitute ("const0"/"const1")
+	Inverted   bool    // complemented substitution
+	EstGain    float64 // predicted area gain of the chosen AT
+	EstDelta   float64 // estimated increased error of the chosen AT
+	EstAccum   float64 // accumulated estimate (the EER curve of Fig. 3)
+	ActualErr  float64 // measured error after applying, same pattern set
+	Area       float64 // circuit area after applying
+	Candidates int     // candidates evaluated this iteration
+	CPMTime    time.Duration
+	IterTime   time.Duration
+}
+
+// Result is the outcome of a flow run.
+type Result struct {
+	Approx       *circuit.Network
+	OriginalArea float64
+	FinalArea    float64
+	// FinalError is measured on the flow's pattern set against the golden
+	// circuit after the last accepted substitution.
+	FinalError float64
+	Iterations []IterationRecord
+	// NumIterations counts accepted substitutions even when KeepTrace is
+	// off.
+	NumIterations int
+	TotalTime     time.Duration
+	CPMTime       time.Duration // total time spent building CPMs
+	EstimateTime  time.Duration // total time spent estimating candidates
+}
+
+// AreaRatio returns FinalArea / OriginalArea.
+func (r *Result) AreaRatio() float64 {
+	if r.OriginalArea == 0 {
+		return 1
+	}
+	return r.FinalArea / r.OriginalArea
+}
+
+// Run executes the SASIMI flow on a copy of golden and returns the
+// approximate circuit with the measured error within cfg.Threshold.
+func Run(golden *circuit.Network, cfg Config) (*Result, error) {
+	start := time.Now()
+	cfg.fillDefaults()
+	if cfg.Threshold < 0 {
+		return nil, errors.New("sasimi: negative threshold")
+	}
+	if cfg.Metric == core.MetricAEM && golden.NumOutputs() > 63 {
+		return nil, fmt.Errorf("sasimi: AEM flow needs <= 63 outputs, have %d", golden.NumOutputs())
+	}
+	if err := golden.Validate(); err != nil {
+		return nil, fmt.Errorf("sasimi: invalid input network: %w", err)
+	}
+
+	patterns := cfg.Patterns
+	if patterns == nil {
+		patterns = sim.RandomPatterns(golden.NumInputs(), cfg.NumPatterns, cfg.Seed)
+	}
+	goldenVals := sim.Simulate(golden, patterns)
+	goldenOut := sim.OutputMatrix(golden, goldenVals)
+
+	approx := golden.Clone()
+	est := newEstimator(cfg.Estimator)
+
+	res := &Result{
+		Approx:       approx,
+		OriginalArea: cfg.Library.NetworkArea(golden),
+	}
+	res.FinalArea = res.OriginalArea
+
+	estAccum := 0.0
+	scratch := bitvec.New(patterns.NumPatterns())
+	change := bitvec.New(patterns.NumPatterns())
+
+	for iter := 1; ; iter++ {
+		if cfg.MaxIterations > 0 && iter > cfg.MaxIterations {
+			break
+		}
+		iterStart := time.Now()
+
+		vals := sim.Simulate(approx, patterns)
+		st := emetric.NewState(goldenOut, sim.OutputMatrix(approx, vals))
+		curErr := cfg.Metric.Value(st)
+		res.FinalError = curErr
+
+		ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric}
+		est.prepare(ctx)
+		var cpmTime time.Duration
+		if ctx.cpm != nil {
+			cpmTime = ctx.cpm.BuildTime()
+			res.CPMTime += cpmTime
+		}
+
+		arrival := cfg.Library.NodeArrival(approx)
+		invDelay := cfg.Library.GateDelay(circuit.KindNot)
+		cands := gatherCandidates(approx, vals, &cfg, arrival, invDelay)
+		if len(cands) == 0 {
+			break
+		}
+
+		// Estimate the increased error of every candidate (the batch step)
+		// and pick the best feasible one by ΔArea/ΔError score.
+		estStart := time.Now()
+		best := -1
+		var feasible []int
+		for i := range cands {
+			c := &cands[i]
+			sub := c.substituteValue(vals, scratch)
+			change.Xor(vals.Node(c.Target), sub)
+			c.Delta = est.delta(c.Target, sub, change)
+			c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
+			if curErr+c.Delta > cfg.Threshold+1e-12 {
+				continue // estimated to bust the budget
+			}
+			feasible = append(feasible, i)
+			if best == -1 || c.Score > cands[best].Score {
+				best = i
+			}
+		}
+		if cfg.VerifyTopK > 0 && cfg.Estimator != EstimatorFull && len(feasible) > 0 {
+			best = verifyTopK(approx, vals, st, cfg, cands, feasible, curErr, scratch, change)
+		}
+		res.EstimateTime += time.Since(estStart)
+		if best == -1 {
+			break // nothing fits in the remaining budget
+		}
+		chosen := cands[best]
+
+		// Apply the substitution on a backup so an over-budget result can
+		// be rolled back, then measure the actual error (paper §3.2).
+		backup := approx.Clone()
+		applyCandidate(approx, &chosen)
+
+		newVals := sim.Simulate(approx, patterns)
+		newSt := emetric.NewState(goldenOut, sim.OutputMatrix(approx, newVals))
+		actual := cfg.Metric.Value(newSt)
+		if actual > cfg.Threshold+1e-12 {
+			// The estimate was wrong and the budget is blown: restore the
+			// previous circuit and stop, as the paper's flow does.
+			*approx = *backup
+			break
+		}
+
+		estAccum += chosen.Delta
+		res.NumIterations++
+		res.FinalArea = cfg.Library.NetworkArea(approx)
+		res.FinalError = actual
+		if cfg.KeepTrace {
+			res.Iterations = append(res.Iterations, IterationRecord{
+				Iter:       iter,
+				Target:     backup.NameOf(chosen.Target),
+				Sub:        subName(backup, &chosen),
+				Inverted:   chosen.Inverted,
+				EstGain:    chosen.AreaGain,
+				EstDelta:   chosen.Delta,
+				EstAccum:   estAccum,
+				ActualErr:  actual,
+				Area:       res.FinalArea,
+				Candidates: len(cands),
+				CPMTime:    cpmTime,
+				IterTime:   time.Since(iterStart),
+			})
+		}
+	}
+
+	res.TotalTime = time.Since(start)
+	if err := approx.Validate(); err != nil {
+		return nil, fmt.Errorf("sasimi: flow corrupted the network: %w", err)
+	}
+	return res, nil
+}
+
+// verifyTopK re-evaluates the K best-scoring feasible candidates with
+// exact cone resimulation and returns the index of the best exactly-scored
+// feasible candidate, or -1 if none survives. The verified candidates'
+// Delta and Score fields are overwritten with exact values.
+func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
+	cfg Config, cands []Candidate, feasible []int, curErr float64,
+	scratch, change *bitvec.Vec) int {
+
+	k := cfg.VerifyTopK
+	if k > len(feasible) {
+		k = len(feasible)
+	}
+	// Partial selection of the top-k by score.
+	sort.Slice(feasible, func(a, b int) bool {
+		return cands[feasible[a]].Score > cands[feasible[b]].Score
+	})
+	best := -1
+	for _, idx := range feasible[:k] {
+		c := &cands[idx]
+		sub := c.substituteValue(vals, scratch)
+		c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
+		c.Score = score(c.AreaGain, c.Delta, vals.M)
+		if curErr+c.Delta > cfg.Threshold+1e-12 {
+			continue
+		}
+		if best == -1 || c.Score > cands[best].Score {
+			best = idx
+		}
+	}
+	return best
+}
+
+// score ranks candidates: area gain per unit of increased error. ATs whose
+// estimated error is non-positive are strictly better than any
+// error-increasing AT; among them a larger gain and a more negative delta
+// win. The floor of one tenth of a pattern keeps the ratio finite.
+func score(gain, delta float64, m int) float64 {
+	floor := 0.1 / float64(m)
+	if delta <= 0 {
+		// Map into a band above every positive-delta score.
+		return 1e12 * (gain + 1) * (1 - delta)
+	}
+	if delta < floor {
+		delta = floor
+	}
+	return gain / delta
+}
+
+func subName(n *circuit.Network, c *Candidate) string {
+	if c.Const {
+		if c.ConstVal {
+			return "const1"
+		}
+		return "const0"
+	}
+	return n.NameOf(c.Sub)
+}
+
+// applyCandidate performs the netlist surgery for an accepted candidate.
+func applyCandidate(net *circuit.Network, c *Candidate) {
+	var repl circuit.NodeID
+	switch {
+	case c.Const:
+		repl = net.AddConst(c.ConstVal)
+	case c.Inverted:
+		repl = net.AddGate(circuit.KindNot, c.Sub)
+	default:
+		repl = c.Sub
+	}
+	net.ReplaceNode(c.Target, repl)
+	net.SweepFrom(c.Target)
+}
+
+// EstimateAll exposes the batch estimation step in isolation: it returns
+// every admissible candidate of the network with Delta filled in by the
+// selected estimator, without applying anything. The facade and the
+// examples use it to demonstrate pure batch estimation.
+func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, error) {
+	cfg.fillDefaults()
+	if err := approx.Validate(); err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if patterns == nil {
+		patterns = sim.RandomPatterns(golden.NumInputs(), cfg.NumPatterns, cfg.Seed)
+	}
+	goldenVals := sim.Simulate(golden, patterns)
+	vals := sim.Simulate(approx, patterns)
+	st := emetric.NewState(sim.OutputMatrix(golden, goldenVals), sim.OutputMatrix(approx, vals))
+
+	est := newEstimator(cfg.Estimator)
+	ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric}
+	est.prepare(ctx)
+
+	arrival := cfg.Library.NodeArrival(approx)
+	cands := gatherCandidates(approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot))
+	scratch := bitvec.New(patterns.NumPatterns())
+	change := bitvec.New(patterns.NumPatterns())
+	for i := range cands {
+		c := &cands[i]
+		sub := c.substituteValue(vals, scratch)
+		change.Xor(vals.Node(c.Target), sub)
+		c.Delta = est.delta(c.Target, sub, change)
+		c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
+	}
+	return cands, nil
+}

@@ -1,0 +1,106 @@
+// Package sigprob propagates signal probabilities through a network under
+// the classic independence assumption (Krishnamurthy–Tollis style): each
+// gate output probability is computed from its fanin probabilities as if
+// the fanins were statistically independent.
+//
+// This is the cheap analytical method the paper's Section 4.1 discusses:
+// exact on fanout-free circuits, approximate in the presence of
+// reconvergent fanout, and restricted to independent inputs — the
+// limitations that motivate Monte Carlo estimation. The original SASIMI
+// candidate filter also builds on probabilities like these.
+package sigprob
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// Uniform returns a probability vector assigning 0.5 to every input.
+func Uniform(n *circuit.Network) []float64 {
+	p := make([]float64, n.NumInputs())
+	for i := range p {
+		p[i] = 0.5
+	}
+	return p
+}
+
+// Propagate returns the estimated probability of each live node being 1,
+// indexed by NodeID, for independent input probabilities inputProb (indexed
+// by input position).
+func Propagate(n *circuit.Network, inputProb []float64) ([]float64, error) {
+	if len(inputProb) != n.NumInputs() {
+		return nil, fmt.Errorf("sigprob: %d input probabilities for %d inputs",
+			len(inputProb), n.NumInputs())
+	}
+	for i, p := range inputProb {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("sigprob: input %d probability %v out of [0,1]", i, p)
+		}
+	}
+	prob := make([]float64, n.NumSlots())
+	for i, in := range n.Inputs() {
+		prob[in] = inputProb[i]
+	}
+	for _, id := range n.TopoOrder() {
+		kind := n.Kind(id)
+		if kind == circuit.KindInput {
+			continue
+		}
+		fanins := n.Fanins(id)
+		switch kind {
+		case circuit.KindConst0:
+			prob[id] = 0
+		case circuit.KindConst1:
+			prob[id] = 1
+		case circuit.KindBuf:
+			prob[id] = prob[fanins[0]]
+		case circuit.KindNot:
+			prob[id] = 1 - prob[fanins[0]]
+		case circuit.KindAnd, circuit.KindNand:
+			p := 1.0
+			for _, f := range fanins {
+				p *= prob[f]
+			}
+			if kind == circuit.KindNand {
+				p = 1 - p
+			}
+			prob[id] = p
+		case circuit.KindOr, circuit.KindNor:
+			q := 1.0
+			for _, f := range fanins {
+				q *= 1 - prob[f]
+			}
+			if kind == circuit.KindNor {
+				prob[id] = q
+			} else {
+				prob[id] = 1 - q
+			}
+		case circuit.KindXor, circuit.KindXnor:
+			// P(odd parity) folds pairwise: p ⊕ q = p(1-q) + q(1-p).
+			p := 0.0
+			for _, f := range fanins {
+				q := prob[f]
+				p = p*(1-q) + q*(1-p)
+			}
+			if kind == circuit.KindXnor {
+				p = 1 - p
+			}
+			prob[id] = p
+		case circuit.KindMux:
+			s, d0, d1 := prob[fanins[0]], prob[fanins[1]], prob[fanins[2]]
+			prob[id] = (1-s)*d0 + s*d1
+		default:
+			return nil, fmt.Errorf("sigprob: unsupported kind %v", kind)
+		}
+	}
+	return prob, nil
+}
+
+// PairDifference estimates the probability that two signals differ,
+// assuming independence between them: P(a)(1-P(b)) + P(b)(1-P(a)). This is
+// the crude similarity proxy the original SASIMI selection uses before any
+// simulation.
+func PairDifference(pa, pb float64) float64 {
+	return pa*(1-pb) + pb*(1-pa)
+}

@@ -1,0 +1,161 @@
+package sigprob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchals/internal/bdd"
+	"batchals/internal/circuit"
+)
+
+func TestExactOnTree(t *testing.T) {
+	// On a fanout-free circuit the independence assumption holds, so the
+	// analytical result must equal the exact BDD result.
+	n := circuit.New("tree")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	d := n.AddInput("d")
+	g1 := n.AddGate(circuit.KindAnd, a, b)
+	g2 := n.AddGate(circuit.KindOr, c, d)
+	g3 := n.AddGate(circuit.KindXor, g1, g2)
+	n.AddOutput("o", g3)
+
+	inputProb := []float64{0.3, 0.8, 0.1, 0.6}
+	got, err := Propagate(n, inputProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := bdd.ExactSignalProbabilities(n, inputProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range n.LiveNodes() {
+		if math.Abs(got[id]-exact[id]) > 1e-12 {
+			t.Fatalf("node %d: analytical %v exact %v", id, got[id], exact[id])
+		}
+	}
+}
+
+func TestApproximateOnReconvergence(t *testing.T) {
+	// f = AND(a, NOT(a)) is constant 0, but independence predicts 0.25.
+	n := circuit.New("rc")
+	a := n.AddInput("a")
+	na := n.AddGate(circuit.KindNot, a)
+	f := n.AddGate(circuit.KindAnd, a, na)
+	n.AddOutput("f", f)
+	got, err := Propagate(n, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[f]-0.25) > 1e-12 {
+		t.Fatalf("expected the documented 0.25 overestimate, got %v", got[f])
+	}
+	exact, _ := bdd.ExactSignalProbabilities(n, []float64{0.5})
+	if exact[f] != 0 {
+		t.Fatal("sanity: exact must be 0")
+	}
+}
+
+func TestAllGateKinds(t *testing.T) {
+	n := circuit.New("kinds")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	s := n.AddInput("s")
+	gates := []circuit.NodeID{
+		n.AddGate(circuit.KindAnd, a, b),
+		n.AddGate(circuit.KindOr, a, b),
+		n.AddGate(circuit.KindNand, a, b),
+		n.AddGate(circuit.KindNor, a, b),
+		n.AddGate(circuit.KindXor, a, b),
+		n.AddGate(circuit.KindXnor, a, b),
+		n.AddGate(circuit.KindNot, a),
+		n.AddGate(circuit.KindBuf, b),
+		n.AddGate(circuit.KindMux, s, a, b),
+		n.AddConst(false),
+		n.AddConst(true),
+	}
+	for _, g := range gates {
+		n.AddOutput("", g)
+	}
+	pa, pb, ps := 0.3, 0.7, 0.4
+	got, err := Propagate(n, []float64{pa, pb, ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		pa * pb,
+		1 - (1-pa)*(1-pb),
+		1 - pa*pb,
+		(1 - pa) * (1 - pb),
+		pa*(1-pb) + pb*(1-pa),
+		1 - (pa*(1-pb) + pb*(1-pa)),
+		1 - pa,
+		pb,
+		(1-ps)*pa + ps*pb,
+		0,
+		1,
+	}
+	for i, g := range gates {
+		if math.Abs(got[g]-want[i]) > 1e-12 {
+			t.Fatalf("gate %d (%v): got %v want %v", i, n.Kind(g), got[g], want[i])
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	n := circuit.New("u")
+	n.AddInput("a")
+	n.AddInput("b")
+	u := Uniform(n)
+	if len(u) != 2 || u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("Uniform wrong: %v", u)
+	}
+}
+
+func TestPairDifference(t *testing.T) {
+	if PairDifference(0, 1) != 1 || PairDifference(1, 1) != 0 || PairDifference(0, 0) != 0 {
+		t.Fatal("PairDifference corner cases wrong")
+	}
+	if math.Abs(PairDifference(0.5, 0.5)-0.5) > 1e-12 {
+		t.Fatal("PairDifference(0.5,0.5) should be 0.5")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	n := circuit.New("e")
+	n.AddInput("a")
+	if _, err := Propagate(n, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Propagate(n, []float64{1.5}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}
+
+func TestProbabilitiesStayInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := circuit.New("rand")
+	pool := []circuit.NodeID{n.AddInput(""), n.AddInput(""), n.AddInput("")}
+	kinds := []circuit.Kind{circuit.KindAnd, circuit.KindOr, circuit.KindNand,
+		circuit.KindNor, circuit.KindXor, circuit.KindXnor, circuit.KindNot}
+	for i := 0; i < 60; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		if k == circuit.KindNot {
+			pool = append(pool, n.AddGate(k, pool[r.Intn(len(pool))]))
+		} else {
+			pool = append(pool, n.AddGate(k, pool[r.Intn(len(pool))], pool[r.Intn(len(pool))]))
+		}
+	}
+	n.AddOutput("", pool[len(pool)-1])
+	probs, err := Propagate(n, []float64{0.2, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range n.LiveNodes() {
+		if probs[id] < -1e-12 || probs[id] > 1+1e-12 {
+			t.Fatalf("node %d probability %v out of range", id, probs[id])
+		}
+	}
+}

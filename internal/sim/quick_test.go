@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"batchals/internal/circuit"
+)
+
+// TestQuickWordScalarAgreement: for random small circuits and random
+// patterns, word-parallel simulation agrees with scalar evaluation on
+// every output and pattern.
+func TestQuickWordScalarAgreement(t *testing.T) {
+	f := func(seed int64, nGates uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, r, 4+r.Intn(4), 5+int(nGates%40))
+		p := RandomPatterns(n.NumInputs(), 64+r.Intn(100), seed+1)
+		v := Simulate(n, p)
+		in := make([]bool, n.NumInputs())
+		for trial := 0; trial < 10; trial++ {
+			i := r.Intn(p.NumPatterns())
+			for k := range in {
+				in[k] = p.Bit(i, k)
+			}
+			want := EvalOne(n, in)
+			for o, out := range n.Outputs() {
+				if v.Bit(out.Node, i) != want[o] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExhaustiveBitOrder: the exhaustive pattern set assigns input k
+// the value bit k of the pattern index.
+func TestQuickExhaustiveBitOrder(t *testing.T) {
+	f := func(raw uint16) bool {
+		nin := 1 + int(raw%10)
+		p := ExhaustivePatterns(nin)
+		i := int(raw) % p.NumPatterns()
+		for k := 0; k < nin; k++ {
+			if p.Bit(i, k) != (i>>uint(k)&1 == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConeResimSubsetOnly: resimulating a cone never changes values
+// outside the transitive fanout cone of the root.
+func TestQuickConeResimSubsetOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, r, 5, 30)
+		p := RandomPatterns(5, 128, seed)
+		v := Simulate(n, p)
+		ref := v.Clone()
+		var gates []circuit.NodeID
+		for _, id := range n.LiveNodes() {
+			if n.Kind(id).IsGate() {
+				gates = append(gates, id)
+			}
+		}
+		root := gates[r.Intn(len(gates))]
+		v.Node(root).Not(v.Node(root))
+		ResimulateCone(n, v, root)
+		cone := n.TransitiveFanoutCone(root)
+		for _, id := range n.LiveNodes() {
+			if !cone[id] && !v.Node(id).Equal(ref.Node(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

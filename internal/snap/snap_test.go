@@ -1,0 +1,107 @@
+package snap
+
+import (
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/emetric"
+)
+
+func TestSnapRespectsThreshold(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 1, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 0.05+1e-9 {
+		t.Fatalf("error %v above threshold", res.FinalError)
+	}
+	exact := emetric.MeasureExact(golden, res.Approx)
+	if exact.ErrorRate > 0.12 {
+		t.Fatalf("exact ER %v way above threshold", exact.ErrorRate)
+	}
+}
+
+func TestSnapReducesArea(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 2, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIterations == 0 || res.FinalArea >= res.OriginalArea {
+		t.Fatalf("no progress: %d iterations, %v -> %v",
+			res.NumIterations, res.OriginalArea, res.FinalArea)
+	}
+}
+
+func TestSnapBatchBeatsLocal(t *testing.T) {
+	golden := bench.MUL(4)
+	batch, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.FinalArea > local.FinalArea+1e-9 {
+		t.Fatalf("batch %v worse than local %v", batch.FinalArea, local.FinalArea)
+	}
+}
+
+func TestSnapAEM(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 3000, Seed: 4, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 2.0+1e-9 {
+		t.Fatalf("AEM %v above threshold", res.FinalError)
+	}
+	if res.NumIterations == 0 {
+		t.Fatal("AEM snap made no progress")
+	}
+}
+
+func TestSnapZeroThreshold(t *testing.T) {
+	golden := bench.RCA(6)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0, NumPatterns: 1000, Seed: 5, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError != 0 {
+		t.Fatalf("zero-threshold run has error %v", res.FinalError)
+	}
+}
+
+func TestSnapErrors(t *testing.T) {
+	if _, err := Run(bench.RCA(4), Config{Threshold: -0.1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestSnapMaxIterations(t *testing.T) {
+	res, err := Run(bench.MUL(4), Config{
+		Metric: core.MetricER, Threshold: 0.1, NumPatterns: 1000, Seed: 6,
+		UseBatch: true, MaxIterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIterations > 3 {
+		t.Fatalf("iterations %d exceed cap", res.NumIterations)
+	}
+}

@@ -1,0 +1,128 @@
+package wu
+
+import (
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/emetric"
+)
+
+func TestWuRespectsThreshold(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 1, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 0.05+1e-9 {
+		t.Fatalf("error %v above threshold", res.FinalError)
+	}
+	exact := emetric.MeasureExact(golden, res.Approx)
+	if exact.ErrorRate > 0.12 {
+		t.Fatalf("exact ER %v far above budget", exact.ErrorRate)
+	}
+	if err := res.Approx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWuReducesArea(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 2, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIterations == 0 || res.FinalArea >= res.OriginalArea {
+		t.Fatalf("no progress: %d iterations, %v -> %v",
+			res.NumIterations, res.OriginalArea, res.FinalArea)
+	}
+}
+
+func TestWuBatchAtLeastAsGoodAsLocal(t *testing.T) {
+	golden := bench.MUL(4)
+	batch, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.FinalArea > local.FinalArea+1e-9 {
+		t.Fatalf("batch %v worse than local %v", batch.FinalArea, local.FinalArea)
+	}
+}
+
+func TestWuZeroThreshold(t *testing.T) {
+	golden := bench.RCA(6)
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0, NumPatterns: 1000, Seed: 4, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError != 0 {
+		t.Fatalf("zero-threshold run has error %v", res.FinalError)
+	}
+}
+
+func TestWuAEM(t *testing.T) {
+	golden := bench.MUL(4)
+	res, err := Run(golden, Config{
+		Metric: core.MetricAEM, Threshold: 2, NumPatterns: 2000, Seed: 5, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 2+1e-9 {
+		t.Fatalf("AEM %v above threshold", res.FinalError)
+	}
+}
+
+func TestWuMaxIterations(t *testing.T) {
+	res, err := Run(bench.MUL(4), Config{
+		Metric: core.MetricER, Threshold: 0.1, NumPatterns: 1000, Seed: 6,
+		UseBatch: true, MaxIterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIterations > 2 {
+		t.Fatalf("iterations %d exceed cap", res.NumIterations)
+	}
+}
+
+func TestWuErrors(t *testing.T) {
+	if _, err := Run(bench.RCA(4), Config{Threshold: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestWuOnSynthetic(t *testing.T) {
+	// The ISCAS-like synthetics contain 3-input gates, exercising the
+	// arity-shrink path (not just the 2-input collapse).
+	golden, err := bench.ISCASLike("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(golden, Config{
+		Metric: core.MetricER, Threshold: 0.02, NumPatterns: 1000, Seed: 7, UseBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 0.02+1e-9 {
+		t.Fatalf("error %v above threshold", res.FinalError)
+	}
+	if res.NumIterations == 0 {
+		t.Fatal("no deletions accepted on c880")
+	}
+}
