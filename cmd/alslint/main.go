@@ -1,0 +1,131 @@
+// Command alslint runs the structural netlist analyzer (internal/analyze)
+// over circuits and reports diagnostics with severity levels.
+//
+// Usage:
+//
+//	alslint rca8 mul8                    # registered benchmarks
+//	alslint design.blif adder.bench      # BLIF / ISCAS-bench files
+//	alslint -all                         # every registered benchmark
+//	alslint -min warning design.blif     # hide info-level findings
+//
+// Targets with a path separator or an extension are parsed as files;
+// anything else is looked up in the benchmark registry. Each finding is
+// printed as
+//
+//	<target>: <severity>: [<pass>] <message>
+//
+// followed by a one-line structural summary (node count, CPM-exactness
+// fraction, reconvergent stems, fanout-free regions). The exit status is
+// 1 when any target has an error-level finding (combinational cycle,
+// missing outputs, unparsable file) and 0 otherwise; warnings and info
+// findings do not affect it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"batchals"
+	"batchals/internal/analyze"
+)
+
+func main() {
+	var (
+		all = flag.Bool("all", false, "lint every registered benchmark")
+		min = flag.String("min", "info", "minimum severity to print: info, warning or error")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alslint [-all] [-min sev] [target ...]")
+		fmt.Fprintln(os.Stderr, "targets are benchmark names or .bench/.blif files")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	minSev, ok := parseSeverity(*min)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alslint: bad -min %q (want info, warning or error)\n", *min)
+		os.Exit(2)
+	}
+
+	targets := flag.Args()
+	if *all {
+		targets = append(batchals.BenchmarkNames(), targets...)
+	}
+	if len(targets) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, target := range targets {
+		if !lintTarget(target, minSev) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintTarget analyzes one benchmark or file and prints its findings.
+// It returns false when the target has error-level findings.
+func lintTarget(target string, minSev analyze.Severity) bool {
+	net, err := load(target)
+	if err != nil {
+		// A file that cannot be parsed is itself a lint finding.
+		fmt.Printf("%s: %s\n", target, analyze.Diagnostic{
+			Pass: "parse", Sev: analyze.SevError, Msg: err.Error(),
+		})
+		return false
+	}
+
+	rep := analyze.Run(net)
+	for _, d := range rep.Diags {
+		// Severity values are ordered most-severe-first.
+		if d.Sev <= minSev {
+			fmt.Printf("%s: %s\n", target, d)
+		}
+	}
+	if rep.Errors() > 0 {
+		fmt.Printf("%s: FAIL (%d errors, %d warnings)\n", target, rep.Errors(), rep.Warnings())
+		return false
+	}
+	fmt.Printf("%s: ok: %d nodes, %.1f%% CPM-exact (%d/%d), %d reconvergent stems, %d FFRs, %d warnings\n",
+		target, net.NumNodes(), 100*rep.Cert.Fraction(), rep.Cert.NumExact(), rep.Cert.NumNodes(),
+		numReconvergent(rep.Stems), rep.FFR.NumRegions(), rep.Warnings())
+	return true
+}
+
+func numReconvergent(stems []analyze.Stem) int {
+	n := 0
+	for _, s := range stems {
+		if s.Reconvergent {
+			n++
+		}
+	}
+	return n
+}
+
+// load resolves a target the same way errstat does: names with a path
+// separator or extension are files, everything else is a registered
+// benchmark.
+func load(spec string) (*batchals.Network, error) {
+	if strings.ContainsAny(spec, "/.") {
+		return batchals.Load(spec)
+	}
+	return batchals.Benchmark(spec)
+}
+
+func parseSeverity(s string) (analyze.Severity, bool) {
+	switch s {
+	case "error":
+		return analyze.SevError, true
+	case "warning":
+		return analyze.SevWarning, true
+	case "info":
+		return analyze.SevInfo, true
+	}
+	return 0, false
+}

@@ -1,0 +1,243 @@
+// Command vetals runs the repo's custom Go-level analyzers
+// (internal/lint: bitveclen, randseed, apipanic). It speaks two dialects:
+//
+// As a vet tool, implementing the cmd/go unitchecker protocol — the -V=full
+// and -flags probes plus the JSON .cfg package description — so the whole
+// module is checked with the standard driver and its caching:
+//
+//	go build -o bin/vetals ./cmd/vetals
+//	go vet -vettool=bin/vetals ./...
+//
+// Standalone, walking the module without the go command:
+//
+//	vetals ./...
+//
+// The protocol is implemented by hand because the container build vendors
+// no third-party modules (golang.org/x/tools is unavailable); the analyzers
+// are purely syntactic, so no export data or facts are needed — the .vetx
+// facts file the driver expects is written empty.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"batchals/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "-V":
+			// Probe from cmd/go's tool-ID computation: the reply must be
+			// "<name> version <id>".
+			fmt.Println("vetals version v1")
+			return
+		case arg == "-flags":
+			// Probe from cmd/go's flag parser: JSON list of tool flags.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMode(args[0]))
+	}
+	os.Exit(standaloneMode(args))
+}
+
+// vetConfig mirrors the fields of the unitchecker JSON package description
+// this tool needs; unknown fields are ignored.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// unitcheckerMode analyses one package described by a cmd/go .cfg file.
+// Exit status: 0 clean, 2 diagnostics, 1 operational failure.
+func unitcheckerMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetals:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vetals: %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver caches analysis facts in a .vetx file and requires it to
+	// exist; the analyzers are fact-free, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "vetals:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency package: facts only, nothing to report
+	}
+
+	// Test variants carry an " [pkg.test]" suffix on the import path.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgName := ""
+	for _, gf := range cfg.GoFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetals:", err)
+			return 1
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	diags := lint.Run(fset, pkgPath, pkgName, files, lint.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standaloneMode walks the module rooted at the working directory (or the
+// nearest parent with a go.mod) and analyses every package. Patterns are
+// accepted for familiarity but only "./..." semantics are implemented.
+func standaloneMode(args []string) int {
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetals:", err)
+		return 1
+	}
+	_ = args // everything under the module is checked
+
+	fset := token.NewFileSet()
+	var all []lint.Diagnostic
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		switch d.Name() {
+		case ".git", ".github", "testdata", "vendor":
+			return filepath.SkipDir
+		}
+		diags, derr := analyzeDir(fset, root, module, path)
+		if derr != nil {
+			return derr
+		}
+		all = append(all, diags...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetals:", err)
+		return 1
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// analyzeDir parses the .go files of one directory, groups them by package
+// clause (a directory may hold both pkg and pkg_test) and runs the
+// analyzers on each group.
+func analyzeDir(fset *token.FileSet, root, module, dir string) ([]lint.Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string][]*ast.File{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		groups[f.Name.Name] = append(groups[f.Name.Name], f)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := module
+	if rel != "." {
+		pkgPath = module + "/" + filepath.ToSlash(rel)
+	}
+	var diags []lint.Diagnostic
+	for _, names := range sortedKeys(groups) {
+		diags = append(diags, lint.Run(fset, pkgPath, names, groups[names], lint.All())...)
+	}
+	return diags, nil
+}
+
+func sortedKeys(m map[string][]*ast.File) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// findModule locates the enclosing go.mod and returns its directory and
+// module path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

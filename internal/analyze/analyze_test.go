@@ -1,0 +1,295 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"batchals/internal/analyze"
+	"batchals/internal/bench"
+	"batchals/internal/benchfmt"
+	"batchals/internal/circuit"
+)
+
+// ISCAS'85 c17: 5 inputs, 6 NAND gates, 2 outputs. Its reconvergent
+// fanouts are textbook material: stems G3 and G11 reconverge (at G22 and
+// G23 respectively); stem G16 branches to disjoint outputs.
+const c17 = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func parseC17(t *testing.T) *circuit.Network {
+	t.Helper()
+	n, err := benchfmt.Parse(strings.NewReader(c17), "c17")
+	if err != nil {
+		t.Fatalf("parse c17: %v", err)
+	}
+	return n
+}
+
+func TestTreeCircuitsCertifyFullyExact(t *testing.T) {
+	// A balanced XOR tree: every node has a single fanout, so every cone
+	// is a path and the whole circuit must be certified exact.
+	trees := map[string]*circuit.Network{
+		"par16": bench.Parity(16),
+		"dec4":  bench.Decoder(4), // inverter branches never remerge
+	}
+	// A hand-built AND/OR tree.
+	hand := circuit.New("tree")
+	var leaves []circuit.NodeID
+	for i := 0; i < 8; i++ {
+		leaves = append(leaves, hand.AddInput("i"+string(rune('0'+i))))
+	}
+	l1 := []circuit.NodeID{
+		hand.AddGate(circuit.KindAnd, leaves[0], leaves[1]),
+		hand.AddGate(circuit.KindOr, leaves[2], leaves[3]),
+		hand.AddGate(circuit.KindAnd, leaves[4], leaves[5]),
+		hand.AddGate(circuit.KindOr, leaves[6], leaves[7]),
+	}
+	l2 := []circuit.NodeID{
+		hand.AddGate(circuit.KindOr, l1[0], l1[1]),
+		hand.AddGate(circuit.KindAnd, l1[2], l1[3]),
+	}
+	hand.AddOutput("f", hand.AddGate(circuit.KindXor, l2[0], l2[1]))
+	trees["hand-tree"] = hand
+
+	for name, n := range trees {
+		cert := analyze.ExactnessCertificate(n)
+		if cert.Fraction() != 1 {
+			t.Errorf("%s: want 100%% exact, got %d/%d", name, cert.NumExact(), cert.NumNodes())
+		}
+		rep := analyze.Run(n)
+		if rep.Errors() != 0 || rep.Warnings() != 0 {
+			t.Errorf("%s: unexpected findings: %v", name, rep.Diags)
+		}
+	}
+}
+
+func TestC17ReconvergentStems(t *testing.T) {
+	n := parseC17(t)
+	stems := analyze.ReconvergentStems(n)
+
+	byName := map[string]analyze.Stem{}
+	for _, s := range stems {
+		byName[n.NameOf(s.Node)] = s
+	}
+	if len(stems) != 3 {
+		t.Fatalf("want 3 multi-fanout stems (G3, G11, G16), got %d: %v", len(stems), byName)
+	}
+	for _, want := range []struct {
+		name    string
+		reconv  bool
+		mergeAt string // "" when not reconvergent
+	}{
+		{"G3", true, "G22"},
+		{"G11", true, "G23"},
+		{"G16", false, ""},
+	} {
+		s, ok := byName[want.name]
+		if !ok {
+			t.Errorf("stem %s not reported", want.name)
+			continue
+		}
+		if s.Reconvergent != want.reconv {
+			t.Errorf("stem %s: reconvergent=%v, want %v", want.name, s.Reconvergent, want.reconv)
+		}
+		if want.reconv && n.NameOf(s.MergePoint) != want.mergeAt {
+			t.Errorf("stem %s: merge at %s, want %s", want.name, n.NameOf(s.MergePoint), want.mergeAt)
+		}
+	}
+
+	// The certificate must agree with the stems: nodes whose cone contains
+	// a reconvergence (G3, G11, and G6 which feeds only G11) are not
+	// exact; everything else is.
+	cert := analyze.ExactnessCertificate(n)
+	wantExact := map[string]bool{
+		"G1": true, "G2": true, "G3": false, "G6": false, "G7": true,
+		"G10": true, "G11": false, "G16": true, "G19": true,
+		"G22": true, "G23": true,
+	}
+	for name, want := range wantExact {
+		id := n.FindByName(name)
+		if id == circuit.InvalidNode {
+			t.Fatalf("node %s missing", name)
+		}
+		if got := cert.Exact(id); got != want {
+			t.Errorf("exact(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if cert.NumExact() != 8 || cert.NumNodes() != 11 {
+		t.Errorf("certificate counts: %d/%d, want 8/11", cert.NumExact(), cert.NumNodes())
+	}
+}
+
+func TestC17PostDominators(t *testing.T) {
+	n := parseC17(t)
+	ipdom := analyze.PostDominators(n)
+	get := func(name string) circuit.NodeID { return ipdom[n.FindByName(name)] }
+
+	if got := get("G10"); n.NameOf(got) != "G22" {
+		t.Errorf("ipdom(G10) = %v, want G22", got)
+	}
+	if got := get("G19"); n.NameOf(got) != "G23" {
+		t.Errorf("ipdom(G19) = %v, want G23", got)
+	}
+	// G3's branches only meet beyond the outputs (virtual sink).
+	if got := get("G3"); got != circuit.InvalidNode {
+		t.Errorf("ipdom(G3) = %v (%s), want virtual sink", got, n.NameOf(got))
+	}
+}
+
+func TestCyclicNetworkRejectedWithCycleNamed(t *testing.T) {
+	n := circuit.New("cyclic")
+	x := n.AddInput("x")
+	y := n.AddInput("y")
+	a := n.AddGate(circuit.KindAnd, x, y)
+	n.SetName(a, "a")
+	b := n.AddGate(circuit.KindNot, a)
+	n.SetName(b, "b")
+	n.AddOutput("f", b)
+	// Rewire a's first fanin from x to b: a -> b -> a is now a cycle.
+	// (ReplaceFanin performs no cycle check, unlike ReplaceNode.)
+	n.ReplaceFanin(a, x, b)
+
+	cyc := analyze.FindCycle(n)
+	if cyc == nil {
+		t.Fatal("FindCycle missed the a->b->a cycle")
+	}
+	names := map[string]bool{}
+	for _, id := range cyc {
+		names[n.NameOf(id)] = true
+	}
+	if !names["a"] || !names["b"] || len(cyc) != 2 {
+		t.Errorf("cycle = %v, want the {a, b} loop", cyc)
+	}
+
+	rep := analyze.Run(n)
+	if !rep.Cyclic || rep.Errors() != 1 {
+		t.Fatalf("Run: Cyclic=%v Errors=%d, want true/1 (%v)", rep.Cyclic, rep.Errors(), rep.Diags)
+	}
+	msg := rep.Diags[0].Msg
+	if !strings.Contains(msg, "a") || !strings.Contains(msg, "b") || !strings.Contains(msg, "->") {
+		t.Errorf("cycle diagnostic does not name the cycle: %q", msg)
+	}
+	if rep.Cert != nil || rep.FFR != nil || rep.Stems != nil {
+		t.Error("cyclic report must not carry decompositions")
+	}
+}
+
+func TestStructuralDefects(t *testing.T) {
+	n := circuit.New("defects")
+	i0 := n.AddInput("i0")
+	i1 := n.AddInput("i1")
+	n.AddInput("unused")
+	g := n.AddGate(circuit.KindAnd, i0, i1)
+	n.AddOutput("f", g)
+
+	// Dangling inverter: no fanouts, no output binding.
+	d := n.AddGate(circuit.KindNot, i0)
+	n.SetName(d, "dang")
+	// Unreachable pair: u1 feeds u2, u2 dangles.
+	u1 := n.AddGate(circuit.KindNot, i1)
+	n.SetName(u1, "u1")
+	u2 := n.AddGate(circuit.KindNot, u1)
+	n.SetName(u2, "u2")
+	// Floating output: driven by a constant cone.
+	c := n.AddConst(true)
+	fo := n.AddGate(circuit.KindBuf, c)
+	n.AddOutput("k", fo)
+
+	rep := analyze.Run(n)
+	if rep.Errors() != 0 {
+		t.Fatalf("no errors expected, got %v", rep.Diags)
+	}
+	found := map[string]int{}
+	for _, diag := range rep.Diags {
+		found[diag.Pass]++
+	}
+	if found["dangling"] != 2 { // dang and u2 both dangle
+		t.Errorf("dangling findings = %d, want 2 (%v)", found["dangling"], rep.Diags)
+	}
+	if found["unreachable"] != 1 { // u1 has a fanout but cannot reach an output
+		t.Errorf("unreachable findings = %d, want 1 (%v)", found["unreachable"], rep.Diags)
+	}
+	if found["floating-output"] != 1 {
+		t.Errorf("floating-output findings = %d, want 1 (%v)", found["floating-output"], rep.Diags)
+	}
+	if found["unused-input"] != 1 {
+		t.Errorf("unused-input findings = %d, want 1 (%v)", found["unused-input"], rep.Diags)
+	}
+}
+
+func TestFFRDecomposition(t *testing.T) {
+	// Chain i0 -> a -> b -> output: one region rooted at b.
+	n := circuit.New("chain")
+	i0 := n.AddInput("i0")
+	a := n.AddGate(circuit.KindNot, i0)
+	b := n.AddGate(circuit.KindNot, a)
+	n.AddOutput("f", b)
+	f := analyze.ComputeFFRs(n)
+	if f.NumRegions() != 1 || f.Root(i0) != b || f.Root(a) != b || f.Root(b) != b {
+		t.Errorf("chain: regions=%d roots=(%v,%v,%v), want one region rooted at %v",
+			f.NumRegions(), f.Root(i0), f.Root(a), f.Root(b), b)
+	}
+	if f.Size(b) != 3 || f.LargestSize() != 3 {
+		t.Errorf("chain: size(b)=%d largest=%d, want 3/3", f.Size(b), f.LargestSize())
+	}
+
+	// A stem splits regions: i0 feeds two inverters, each an output.
+	n2 := circuit.New("split")
+	j0 := n2.AddInput("j0")
+	a1 := n2.AddGate(circuit.KindNot, j0)
+	a2 := n2.AddGate(circuit.KindNot, j0)
+	n2.AddOutput("p", a1)
+	n2.AddOutput("q", a2)
+	f2 := analyze.ComputeFFRs(n2)
+	if f2.NumRegions() != 3 {
+		t.Errorf("split: regions=%d, want 3", f2.NumRegions())
+	}
+	if f2.Root(j0) != j0 || f2.SameRegion(a1, a2) {
+		t.Errorf("split: stem must be its own root and branches separate regions")
+	}
+
+	// c17 has 3 stems + 2 output drivers among gates: regions must cover
+	// every live node exactly once.
+	c := parseC17(t)
+	fc := analyze.ComputeFFRs(c)
+	total := 0
+	for _, r := range fc.Roots() {
+		total += fc.Size(r)
+	}
+	if total != c.NumNodes() {
+		t.Errorf("c17: FFR sizes sum to %d, want %d live nodes", total, c.NumNodes())
+	}
+}
+
+// Registered benchmarks must all be clean: zero errors and zero warnings.
+func TestRegisteredBenchmarksLintClean(t *testing.T) {
+	for _, name := range bench.Names() {
+		n, err := bench.ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := analyze.Run(n)
+		if rep.Errors() != 0 || rep.Warnings() != 0 {
+			var bad []string
+			for _, d := range rep.Diags {
+				if d.Sev != analyze.SevInfo {
+					bad = append(bad, d.String())
+				}
+			}
+			t.Errorf("%s: %v", name, bad)
+		}
+	}
+}

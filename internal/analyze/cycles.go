@@ -1,0 +1,75 @@
+package analyze
+
+import "batchals/internal/circuit"
+
+// FindCycle searches the network for a combinational cycle and returns one
+// offending cycle as a node sequence (each node feeds the next, the last
+// feeds the first), or nil if the network is acyclic. Unlike
+// Network.Validate it names the cycle rather than just detecting it, and
+// unlike Network.TopoOrder it never panics.
+func FindCycle(n *circuit.Network) []circuit.NodeID {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make([]byte, n.NumSlots())
+
+	// Iterative DFS over fanin edges keeping the explicit path so the
+	// cycle can be reconstructed when a grey node is re-entered.
+	type frame struct {
+		id   circuit.NodeID
+		next int // index into Fanins(id) to try next
+	}
+	var stack []frame
+	var path []circuit.NodeID
+
+	for _, start := range n.LiveNodes() {
+		if color[start] != white {
+			continue
+		}
+		stack = append(stack[:0], frame{id: start})
+		path = path[:0]
+		color[start] = grey
+		path = append(path, start)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			fanins := n.Fanins(f.id)
+			if f.next < len(fanins) {
+				child := fanins[f.next]
+				f.next++
+				if !n.IsLive(child) {
+					continue // Validate reports dead fanins; not our job
+				}
+				switch color[child] {
+				case white:
+					color[child] = grey
+					stack = append(stack, frame{id: child})
+					path = append(path, child)
+				case grey:
+					// Found a back edge: the cycle is the path suffix
+					// starting at child. Report it in fanin->fanout
+					// direction (signal flow), i.e. reversed DFS order.
+					for i, id := range path {
+						if id == child {
+							cyc := append([]circuit.NodeID(nil), path[i:]...)
+							reverse(cyc)
+							return cyc
+						}
+					}
+				}
+			} else {
+				color[f.id] = black
+				stack = stack[:len(stack)-1]
+				path = path[:len(path)-1]
+			}
+		}
+	}
+	return nil
+}
+
+func reverse(s []circuit.NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,105 @@
+package analyze
+
+import "batchals/internal/circuit"
+
+// FFRs is the fanout-free-region decomposition of a network: every live
+// node belongs to exactly one region, identified by its root. A root is a
+// node whose value is consumed in more than one place (≥2 distinct fanout
+// nodes, or a primary-output binding plus any fanout, or multiple output
+// bindings) or not at all; every other node forwards its value to exactly
+// one consumer and joins that consumer's region. Within a region a change
+// propagates along a unique path, which is what makes the batch estimator
+// exact on trees (see Certificate).
+type FFRs struct {
+	root []circuit.NodeID // root[id] = FFR root of id (InvalidNode for dead slots)
+	size map[circuit.NodeID]int
+}
+
+// ComputeFFRs builds the decomposition. The network must be acyclic.
+func ComputeFFRs(n *circuit.Network) *FFRs {
+	f := &FFRs{
+		root: make([]circuit.NodeID, n.NumSlots()),
+		size: make(map[circuit.NodeID]int),
+	}
+	for i := range f.root {
+		f.root[i] = circuit.InvalidNode
+	}
+
+	isOut := make([]bool, n.NumSlots())
+	for _, o := range n.Outputs() {
+		isOut[o.Node] = true
+	}
+
+	order := n.TopoOrder()
+	// Reverse topological: fanouts are rooted before their fanins.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		sinks := distinctFanouts(n, id)
+		if len(sinks) == 1 && !isOut[id] {
+			f.root[id] = f.root[sinks[0]]
+		} else {
+			f.root[id] = id
+		}
+		f.size[f.root[id]]++
+	}
+	return f
+}
+
+// distinctFanouts returns the distinct fanout nodes of id (a node feeding
+// two pins of one gate has one distinct fanout).
+func distinctFanouts(n *circuit.Network, id circuit.NodeID) []circuit.NodeID {
+	fos := n.Fanouts(id)
+	if len(fos) <= 1 {
+		return fos
+	}
+	out := make([]circuit.NodeID, 0, len(fos))
+	for _, f := range fos {
+		dup := false
+		for _, g := range out {
+			if g == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Root returns the FFR root of node id.
+func (f *FFRs) Root(id circuit.NodeID) circuit.NodeID { return f.root[id] }
+
+// SameRegion reports whether two nodes lie in one fanout-free region.
+func (f *FFRs) SameRegion(a, b circuit.NodeID) bool {
+	return f.root[a] != circuit.InvalidNode && f.root[a] == f.root[b]
+}
+
+// NumRegions returns the number of fanout-free regions.
+func (f *FFRs) NumRegions() int { return len(f.size) }
+
+// Size returns the number of nodes in the region rooted at root (0 if root
+// is not a region root).
+func (f *FFRs) Size(root circuit.NodeID) int { return f.size[root] }
+
+// LargestSize returns the node count of the largest region.
+func (f *FFRs) LargestSize() int {
+	max := 0
+	for _, s := range f.size {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Roots returns all region roots in ascending id order.
+func (f *FFRs) Roots() []circuit.NodeID {
+	roots := make([]circuit.NodeID, 0, len(f.size))
+	for r := range f.size {
+		roots = append(roots, r)
+	}
+	sortIDs(roots)
+	return roots
+}

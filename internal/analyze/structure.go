@@ -1,0 +1,85 @@
+package analyze
+
+import "batchals/internal/circuit"
+
+// checkStructure runs the defect-detection passes that do not need a
+// decomposition: dangling gates, logic unreachable from any output,
+// floating (constant-driven) outputs and unused primary inputs. Appends
+// diagnostics to r.
+func checkStructure(n *circuit.Network, r *Report) {
+	// Mark everything in the fanin cone of some primary output.
+	reach := make([]bool, n.NumSlots())
+	var stack []circuit.NodeID
+	for _, o := range n.Outputs() {
+		if !reach[o.Node] {
+			reach[o.Node] = true
+			stack = append(stack, o.Node)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range n.Fanins(id) {
+			if !reach[f] {
+				reach[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+
+	if n.NumOutputs() == 0 {
+		r.add("structure", SevError, circuit.InvalidNode, "network %q has no primary outputs", n.Name)
+	}
+
+	var dangling, unreachable, unusedIn []circuit.NodeID
+	for _, id := range n.LiveNodes() {
+		k := n.Kind(id)
+		switch {
+		case k == circuit.KindInput:
+			if len(n.Fanouts(id)) == 0 && !reach[id] {
+				unusedIn = append(unusedIn, id)
+			}
+		case k.IsGate() || k == circuit.KindConst0 || k == circuit.KindConst1:
+			if reach[id] {
+				continue
+			}
+			if len(n.Fanouts(id)) == 0 {
+				dangling = append(dangling, id)
+			} else {
+				unreachable = append(unreachable, id)
+			}
+		}
+	}
+	sortIDs(dangling)
+	sortIDs(unreachable)
+	sortIDs(unusedIn)
+
+	for _, id := range dangling {
+		r.add("dangling", SevWarning, id,
+			"node %s (%v) has no fanouts and drives no output", n.NameOf(id), n.Kind(id))
+	}
+	for _, id := range unreachable {
+		r.add("unreachable", SevWarning, id,
+			"node %s (%v) cannot reach any primary output", n.NameOf(id), n.Kind(id))
+	}
+	for _, id := range unusedIn {
+		r.add("unused-input", SevInfo, id, "primary input %s is never used", n.NameOf(id))
+	}
+
+	// Floating outputs: a primary output whose fanin cone contains no
+	// primary input computes a constant — almost always a netlist bug.
+	for i, o := range n.Outputs() {
+		cone := n.TransitiveFaninCone(o.Node)
+		hasInput := false
+		for _, in := range n.Inputs() {
+			if cone[in] {
+				hasInput = true
+				break
+			}
+		}
+		if !hasInput {
+			r.add("floating-output", SevWarning, o.Node,
+				"output %d (%s) depends on no primary input (constant-driven)", i, o.Name)
+		}
+	}
+}

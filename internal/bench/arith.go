@@ -142,6 +142,9 @@ func KSA(width int) *circuit.Network {
 	}
 	sums = append(sums, n.AddGate(circuit.KindBuf, gp[width-1]))
 	addOutputVector(n, "s", sums)
+	// The last prefix round's group-propagate terms have no consumer;
+	// drop them (found by the analyze dangling-node pass).
+	n.Sweep()
 	return n
 }
 

@@ -114,5 +114,8 @@ func AbsDiff(width int) *circuit.Network {
 	for i := 0; i < width; i++ {
 		n.AddOutput(fmt.Sprintf("d%d", i), n.AddGate(circuit.KindMux, carry, neg[i], diff[i]))
 	}
+	// The negation chain's final carry is unused; drop its dead gates
+	// (found by the analyze dangling-node pass).
+	n.Sweep()
 	return n
 }

@@ -119,6 +119,9 @@ func WTM(width int) *circuit.Network {
 		}
 	}
 	addOutputVector(n, "p", out)
+	// The top column's final carry is unused; drop its dead gates (found
+	// by the analyze dangling-node pass).
+	n.Sweep()
 	return n
 }
 

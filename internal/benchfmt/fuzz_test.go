@@ -1,0 +1,54 @@
+package benchfmt
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the ISCAS-bench parser. The
+// parser must never panic: it either returns a structured error or a
+// network that passes Validate and can be written back out.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Minimal valid netlist.
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+		// All gate kinds, comments, blank lines.
+		"# full adder slice\nINPUT(a)\nINPUT(b)\nINPUT(cin)\n\nOUTPUT(s)\nOUTPUT(cout)\n" +
+			"x1 = XOR(a, b)\ns = XOR(x1, cin)\nn1 = NAND(a, b)\nn2 = NOR(a, b)\n" +
+			"i1 = NOT(n2)\nb1 = BUF(i1)\ncout = OR(n1, i1)\n",
+		// Output listed before its driver (forward reference).
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		// Malformed: unknown gate operator.
+		"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",
+		// Malformed: arity violation for NOT.
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n",
+		// Malformed: duplicate signal name.
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n",
+		// Malformed: unresolved signal.
+		"OUTPUT(y)\ny = AND(p, q)\n",
+		// Malformed: missing parentheses.
+		"INPUT a\nOUTPUT(y)\ny = NOT(a)\n",
+		// Truncated gate line.
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a,",
+		// Pathological tokens.
+		"INPUT(\x00)\nOUTPUT(\xff)\n",
+		"",
+		"=\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejection with a structured error is fine
+		}
+		if verr := n.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a network that fails Validate: %v\ninput: %q", verr, src)
+		}
+		if werr := Write(io.Discard, n); werr != nil {
+			t.Fatalf("accepted network cannot be written back: %v\ninput: %q", werr, src)
+		}
+	})
+}

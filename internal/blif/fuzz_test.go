@@ -1,0 +1,52 @@
+package blif
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the BLIF parser. The parser must
+// never panic: it either returns a structured error or a network that
+// passes Validate and can be written back out.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Minimal valid model.
+		".model tiny\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+		// Multi-cube cover with don't-cares and an output inverter.
+		".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n-11 1\n.names y z\n0 1\n.end\n",
+		// Constant functions (empty cover and tautology).
+		".model k\n.inputs a\n.outputs z0 z1\n.names z0\n.names z1\n 1\n.end\n",
+		// Line continuations and comments.
+		".model c # trailing\n.inputs a \\\n b\n.outputs y\n# comment\n.names a b y\n11 1\n.end\n",
+		// Malformed: missing .model header.
+		".inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+		// Malformed: cube arity mismatch.
+		".model bad\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n",
+		// Malformed: duplicate signal definition.
+		".model dup\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n",
+		// Malformed: undefined signal used as output.
+		".model undef\n.inputs a\n.outputs ghost\n.end\n",
+		// Truncated mid-cover.
+		".model t\n.inputs a b\n.outputs y\n.names a b y\n1",
+		// Pathological tokens.
+		".model x\n.inputs \x00\n.outputs \xff\n.end\n",
+		"",
+		".names\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejection with a structured error is fine
+		}
+		if verr := n.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a network that fails Validate: %v\ninput: %q", verr, src)
+		}
+		if werr := Write(io.Discard, n); werr != nil {
+			t.Fatalf("accepted network cannot be written back: %v\ninput: %q", werr, src)
+		}
+	})
+}

@@ -17,6 +17,10 @@ func (n *Network) removeFanoutEdge(id, fo NodeID) {
 
 // ReplaceFanin rewires every occurrence of old in the fanin list of node id
 // to new, maintaining fanout lists. It panics if old does not appear.
+// Unlike ReplaceNode it performs no cycle check: rewiring to a node in the
+// transitive fanout cone of id silently creates a combinational cycle,
+// which TopoOrder then panics on. Callers that cannot rule this out
+// structurally should check analyze.FindCycle afterwards.
 func (n *Network) ReplaceFanin(id, old, new NodeID) {
 	if !n.IsLive(new) {
 		panic(fmt.Sprintf("circuit: ReplaceFanin target %d not live", new))

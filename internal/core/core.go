@@ -24,6 +24,7 @@ import (
 	"math/bits"
 	"time"
 
+	"batchals/internal/analyze"
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/emetric"
@@ -54,6 +55,9 @@ type CPM struct {
 	// restricted marks a CPM built by BuildForOutputs: its output axis is
 	// a subset, so the whole-circuit error queries are unavailable.
 	restricted bool
+
+	// cert caches the lazily-built exactness certificate (see Certificate).
+	cert *analyze.Certificate
 
 	buildTime time.Duration
 }

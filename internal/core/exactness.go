@@ -1,0 +1,29 @@
+package core
+
+import (
+	"batchals/internal/analyze"
+	"batchals/internal/circuit"
+)
+
+// Certificate returns the CPM-exactness certificate of the network the CPM
+// was built for, computing it lazily on first use and caching it for the
+// CPM's lifetime (the CPM is rebuilt whenever the network changes, so the
+// cache can never go stale).
+//
+// A certified node's output cone is reconvergence-free, which makes the
+// propagation vectors Prop(id, ·) — and hence DeltaER/DeltaAEM for a
+// transformation injected at that node — provably exact on the pattern
+// set rather than the paper's reconvergence-limited estimate. See
+// analyze.Certificate for the structural argument.
+func (c *CPM) Certificate() *analyze.Certificate {
+	if c.cert == nil {
+		c.cert = analyze.ExactnessCertificate(c.net)
+	}
+	return c.cert
+}
+
+// ExactFor reports whether the batch estimate for a change injected at
+// node id carries the structural exactness certificate.
+func (c *CPM) ExactFor(id circuit.NodeID) bool {
+	return c.Certificate().Exact(id)
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// APIPanic forbids panic calls in the public API surface: packages that
+// are neither main nor under internal/. The facade (package batchals)
+// returns errors; panics are an internal-invariant mechanism only
+// (bitvec length guards, circuit editing preconditions), and those all
+// live under internal/ where the analyzer does not apply. Test files are
+// exempt.
+var APIPanic = &Analyzer{
+	Name: "apipanic",
+	Doc:  "public (non-internal) packages must return errors, not panic",
+	Run:  runAPIPanic,
+}
+
+func runAPIPanic(p *Pass) {
+	if p.PkgName == "main" || strings.HasSuffix(p.PkgName, "_test") {
+		return
+	}
+	if strings.HasPrefix(p.PkgPath, "internal/") || strings.Contains(p.PkgPath, "/internal/") ||
+		strings.HasSuffix(p.PkgPath, "/internal") {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+				p.Reportf(call.Pos(),
+					"panic in public package %s; public API paths must return errors", p.PkgPath)
+			}
+			return true
+		})
+	}
+}

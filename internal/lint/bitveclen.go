@@ -1,0 +1,103 @@
+package lint
+
+import "go/ast"
+
+// BitvecLen enforces the bitvec package's core invariant: any Vec method
+// that accepts another *Vec operates word-wise on parallel slices, so it
+// must establish equal lengths before the first word access — either by
+// calling checkSameLen (which panics with a precise message) or by
+// explicitly comparing the .n length fields (the Equal style). A missing
+// guard turns a caller bug into a silent truncation or an index panic deep
+// in a word loop.
+var BitvecLen = &Analyzer{
+	Name: "bitveclen",
+	Doc:  "bitvec.Vec binary operations must check operand lengths",
+	Run:  runBitvecLen,
+}
+
+func runBitvecLen(p *Pass) {
+	if p.PkgName != "bitvec" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !receiverIsVec(fn) || !takesVecParam(fn) {
+				continue
+			}
+			if fn.Name.Name == "checkSameLen" {
+				continue // the guard itself
+			}
+			if hasLengthGuard(fn.Body) {
+				continue
+			}
+			p.Reportf(fn.Name.Pos(),
+				"method (%s).%s takes a *Vec but neither calls checkSameLen nor compares .n lengths",
+				receiverType(fn), fn.Name.Name)
+		}
+	}
+}
+
+func receiverIsVec(fn *ast.FuncDecl) bool {
+	return receiverType(fn) == "*Vec" || receiverType(fn) == "Vec"
+}
+
+func receiverType(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+func takesVecParam(fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if star, ok := field.Type.(*ast.StarExpr); ok {
+			if id, ok := star.X.(*ast.Ident); ok && id.Name == "Vec" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasLengthGuard reports whether the body contains a checkSameLen call or
+// a comparison between two .n selector expressions.
+func hasLengthGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "checkSameLen" {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if isLenField(n.X) && isLenField(n.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isLenField(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "n"
+}

@@ -1,0 +1,116 @@
+// Package lint implements the repo's custom Go-level static analyzers on a
+// minimal, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer / Pass / Reportf). The container build
+// vendors no third-party modules, so the framework is stdlib-only
+// (go/ast + go/parser + go/token); cmd/vetals drives it both standalone
+// and through the `go vet -vettool` unitchecker protocol.
+//
+// Three analyzers enforce repo invariants:
+//
+//   - bitveclen: every bitvec.Vec method that takes another *Vec must
+//     guard against length mismatch (call checkSameLen or compare .n)
+//     before touching word slices.
+//   - randseed:  library packages must not draw from the global math/rand
+//     source — flows are reproducible only through rand.New(rand.NewSource).
+//   - apipanic:  the public (non-internal, non-main) API must not panic;
+//     errors are returned, panics are reserved for internal invariants.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package's syntax through an analyzer, mirroring
+// go/analysis.Pass (syntax only: the repo's analyzers are all syntactic).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	PkgPath  string // import path ("batchals/internal/bitvec")
+	PkgName  string // package identifier ("bitvec")
+	Files    []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders "file:line:col: message [analyzer]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the repo's analyzers in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{BitvecLen, RandSeed, APIPanic}
+}
+
+// Run applies the analyzers to one parsed package and returns the combined
+// diagnostics in source order.
+func Run(fset *token.FileSet, pkgPath, pkgName string, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			PkgPath:  pkgPath,
+			PkgName:  pkgName,
+			Files:    files,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// isTestFile reports whether the file position sits in a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// importedAs returns the local identifier under which file f imports path,
+// or "" when the path is not imported (or imported blank/dot).
+func importedAs(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			switch imp.Name.Name {
+			case "_", ".":
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default name: last path element.
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

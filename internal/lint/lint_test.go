@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, pkgPath, filename, src string, as []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Run(fset, pkgPath, f.Name.Name, []*ast.File{f}, as)
+}
+
+func TestBitvecLenFlagsUnguardedBinaryOp(t *testing.T) {
+	src := `package bitvec
+type Vec struct{ n int; words []uint64 }
+func (v *Vec) checkSameLen(o *Vec) {}
+func (v *Vec) Bad(a, b *Vec) {
+	for i := range v.words { v.words[i] = a.words[i] & b.words[i] }
+}
+func (v *Vec) Good(a *Vec) {
+	v.checkSameLen(a)
+	copy(v.words, a.words)
+}
+func (v *Vec) AlsoGood(o *Vec) bool {
+	if v.n != o.n { return false }
+	return true
+}
+func (v *Vec) Unary() int { return v.n }
+`
+	diags := analyze(t, "batchals/internal/bitvec", "bitvec.go", src, []*Analyzer{BitvecLen})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (Bad), got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "Bad") {
+		t.Errorf("diagnostic should name the method: %v", diags[0])
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("diagnostic at line %d, want 4", diags[0].Pos.Line)
+	}
+}
+
+func TestBitvecLenIgnoresOtherPackages(t *testing.T) {
+	src := `package other
+type Vec struct{ n int }
+func (v *Vec) Bad(a *Vec) {}
+`
+	if diags := analyze(t, "batchals/internal/other", "o.go", src, []*Analyzer{BitvecLen}); len(diags) != 0 {
+		t.Fatalf("bitveclen must only apply to package bitvec, got %v", diags)
+	}
+}
+
+func TestRandSeedFlagsGlobalSource(t *testing.T) {
+	src := `package sim
+import "math/rand"
+func Patterns(m int) []int {
+	out := make([]int, m)
+	for i := range out { out[i] = rand.Intn(2) }
+	return out
+}
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`
+	diags := analyze(t, "batchals/internal/sim", "sim.go", src, []*Analyzer{RandSeed})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (rand.Intn), got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "rand.Intn") {
+		t.Errorf("diagnostic should name the call: %v", diags[0])
+	}
+}
+
+func TestRandSeedAllowsRenamedImportDetection(t *testing.T) {
+	src := `package sim
+import mrand "math/rand"
+func Draw() int { return mrand.Int63n(7) }
+`
+	diags := analyze(t, "batchals/internal/sim", "sim.go", src, []*Analyzer{RandSeed})
+	if len(diags) != 1 {
+		t.Fatalf("renamed import must still be caught, got %v", diags)
+	}
+}
+
+func TestRandSeedExemptsMainAndTests(t *testing.T) {
+	src := `package main
+import "math/rand"
+func main() { _ = rand.Intn(2) }
+`
+	if diags := analyze(t, "batchals/cmd/x", "main.go", src, []*Analyzer{RandSeed}); len(diags) != 0 {
+		t.Fatalf("package main is exempt, got %v", diags)
+	}
+	testSrc := `package sim
+import "math/rand"
+func helper() int { return rand.Intn(2) }
+`
+	if diags := analyze(t, "batchals/internal/sim", "sim_test.go", testSrc, []*Analyzer{RandSeed}); len(diags) != 0 {
+		t.Fatalf("_test.go files are exempt, got %v", diags)
+	}
+}
+
+func TestAPIPanicFlagsPublicPackage(t *testing.T) {
+	src := `package batchals
+func Approximate(x int) int {
+	if x < 0 { panic("negative") }
+	return x
+}
+`
+	diags := analyze(t, "batchals", "als.go", src, []*Analyzer{APIPanic})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+}
+
+func TestAPIPanicExemptsInternalAndMain(t *testing.T) {
+	internalSrc := `package circuit
+func mustLive(ok bool) { if !ok { panic("dead node") } }
+`
+	if diags := analyze(t, "batchals/internal/circuit", "c.go", internalSrc, []*Analyzer{APIPanic}); len(diags) != 0 {
+		t.Fatalf("internal packages are exempt, got %v", diags)
+	}
+	mainSrc := `package main
+func main() { panic("boom") }
+`
+	if diags := analyze(t, "batchals/cmd/x", "main.go", mainSrc, []*Analyzer{APIPanic}); len(diags) != 0 {
+		t.Fatalf("package main is exempt, got %v", diags)
+	}
+}
+
+func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

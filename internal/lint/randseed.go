@@ -1,0 +1,61 @@
+package lint
+
+import "go/ast"
+
+// RandSeed forbids the global math/rand source in library packages. Every
+// flow in this repo promises bit-for-bit reproducibility from a Seed
+// option; a single rand.Intn on the process-global source breaks that
+// silently. Library code must thread a *rand.Rand built with
+// rand.New(rand.NewSource(seed)). Test files and package main are exempt.
+var RandSeed = &Analyzer{
+	Name: "randseed",
+	Doc:  "library packages must not use the global math/rand source",
+	Run:  runRandSeed,
+}
+
+// globalRandFns are the top-level math/rand functions that draw from (or
+// mutate) the package-global source.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func runRandSeed(p *Pass) {
+	if p.PkgName == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		randName := importedAs(f, "math/rand")
+		randV2 := importedAs(f, "math/rand/v2")
+		if randName == "" && randV2 == "" {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok || recv.Obj != nil { // Obj != nil: a local shadows the import
+				return true
+			}
+			if (recv.Name == randName || recv.Name == randV2) && globalRandFns[sel.Sel.Name] {
+				p.Reportf(call.Pos(),
+					"%s.%s draws from the global math/rand source; use rand.New(rand.NewSource(seed)) so flows stay reproducible",
+					recv.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

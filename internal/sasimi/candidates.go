@@ -23,6 +23,13 @@ type Candidate struct {
 	AreaGain float64 // area reclaimed by the substitution (may include inverter cost)
 	Delta    float64 // estimated increased error (filled by the flow)
 	Score    float64 // AreaGain / max(Delta, floor) ranking value
+
+	// Exact is set (alongside Delta) when the estimate carries a
+	// structural exactness certificate: for the batch estimator, the
+	// target's output cone is reconvergence-free, so Delta equals the
+	// exact resimulated value on this pattern set; for the full estimator
+	// it is always true, for the local estimator never.
+	Exact bool
 }
 
 // substituteValue returns the value vector the target would take, reusing

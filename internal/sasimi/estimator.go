@@ -68,6 +68,9 @@ type estimator interface {
 	// delta estimates the increased error of forcing target to newVal;
 	// change is precomputed as current(target) XOR newVal.
 	delta(target circuit.NodeID, newVal, change *bitvec.Vec) float64
+	// exactFor reports whether delta for a change injected at target is
+	// provably exact on the pattern set (see analyze.Certificate).
+	exactFor(target circuit.NodeID) bool
 }
 
 type batchEstimator struct{ ctx *iterContext }
@@ -84,6 +87,13 @@ func (e *batchEstimator) delta(target circuit.NodeID, newVal, change *bitvec.Vec
 	return e.ctx.cpm.DeltaER(target, change, e.ctx.st)
 }
 
+// exactFor consults the CPM's reconvergence-freedom certificate: the batch
+// estimate is provably exact exactly for targets whose output cone is
+// tree-shaped.
+func (e *batchEstimator) exactFor(target circuit.NodeID) bool {
+	return e.ctx.cpm.ExactFor(target)
+}
+
 type fullEstimator struct{ ctx *iterContext }
 
 func (e *fullEstimator) prepare(ctx *iterContext) { e.ctx = ctx }
@@ -92,6 +102,9 @@ func (e *fullEstimator) delta(target circuit.NodeID, newVal, change *bitvec.Vec)
 	return core.ExactDelta(e.ctx.net, e.ctx.vals, target, newVal, e.ctx.st, e.ctx.metric)
 }
 
+// exactFor is always true: cone resimulation measures the error directly.
+func (e *fullEstimator) exactFor(circuit.NodeID) bool { return true }
+
 type localEstimator struct{ ctx *iterContext }
 
 func (e *localEstimator) prepare(ctx *iterContext) { e.ctx = ctx }
@@ -99,16 +112,18 @@ func (e *localEstimator) prepare(ctx *iterContext) { e.ctx = ctx }
 // delta for the local estimator is the difference probability observed at
 // the substituted signal itself: logic masking between the local change and
 // the primary outputs is ignored, exactly the simplification the paper
-// identifies in prior flows.
+// identifies in prior flows. The value doubles as both metrics' estimate:
+// for ER it is the toggle probability, and for AEM the method has no output
+// knowledge to weight toggles with, so each toggle is charged a nominal
+// magnitude of one LSB — numerically the same p, which is why there is a
+// single return rather than a per-metric branch.
 func (e *localEstimator) delta(target circuit.NodeID, newVal, change *bitvec.Vec) float64 {
-	p := float64(change.Count()) / float64(e.ctx.vals.M)
-	if e.ctx.metric == core.MetricAEM {
-		// Without output knowledge the local method can only scale the
-		// toggle probability by a nominal weight; use 1 LSB per toggle.
-		return p
-	}
-	return p
+	return float64(change.Count()) / float64(e.ctx.vals.M)
 }
+
+// exactFor is always false: the local method ignores logic masking, so no
+// structural certificate applies.
+func (e *localEstimator) exactFor(circuit.NodeID) bool { return false }
 
 func newEstimator(k EstimatorKind) estimator {
 	switch k {

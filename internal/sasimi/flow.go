@@ -179,6 +179,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 			sub := c.substituteValue(vals, scratch)
 			change.Xor(vals.Node(c.Target), sub)
 			c.Delta = est.delta(c.Target, sub, change)
+			c.Exact = est.exactFor(c.Target)
 			c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
 			if curErr+c.Delta > cfg.Threshold+1e-12 {
 				continue // estimated to bust the budget
@@ -262,6 +263,7 @@ func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
 		c := &cands[idx]
 		sub := c.substituteValue(vals, scratch)
 		c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
+		c.Exact = true
 		c.Score = score(c.AreaGain, c.Delta, vals.M)
 		if curErr+c.Delta > cfg.Threshold+1e-12 {
 			continue
@@ -344,6 +346,7 @@ func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, erro
 		sub := c.substituteValue(vals, scratch)
 		change.Xor(vals.Node(c.Target), sub)
 		c.Delta = est.delta(c.Target, sub, change)
+		c.Exact = est.exactFor(c.Target)
 		c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
 	}
 	return cands, nil
