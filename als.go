@@ -48,6 +48,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/obs"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
 )
@@ -99,7 +100,38 @@ type Options struct {
 	// iteration with exact fanout-cone resimulation before committing —
 	// the mitigation for the estimator's reconvergent-path inaccuracy.
 	VerifyTopK int
+	// Tracer, when non-nil, receives flow events (phase spans, iteration
+	// summaries, candidate scores, accepted substitutions); see
+	// NewJSONLTracer. nil disables event tracing at zero cost.
+	Tracer Tracer
+	// Metrics, when non-nil, collects flow metrics: iteration / candidate
+	// counters, the five per-phase timers, and the estimator-drift
+	// histograms split by the exactness certificate. Use NewMetrics for a
+	// private registry or DefaultMetrics for the process-global one.
+	Metrics *Metrics
+	// CheckInvariants validates structural invariants (combinational
+	// acyclicity) after every accepted substitution, turning latent
+	// netlist-surgery bugs into immediate named-cycle errors.
+	CheckInvariants bool
 }
+
+// Tracer receives flow events (re-exported from internal/obs).
+type Tracer = obs.Tracer
+
+// Metrics is a concurrency-safe metrics registry, snapshotable as JSON or
+// Prometheus text (re-exported from internal/obs).
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-global registry, which also carries
+// the always-on simulation and CPM substrate counters.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// NewJSONLTracer returns a Tracer that streams events to w as JSON Lines
+// (one object per line, keyed by "ev"). Call Flush when the run ends.
+func NewJSONLTracer(w io.Writer) *obs.JSONLTracer { return obs.NewJSONLTracer(w) }
 
 // Result is the outcome of an approximation flow (re-exported from
 // internal/sasimi).
@@ -110,14 +142,17 @@ type Result = sasimi.Result
 // within opts.Threshold.
 func Approximate(golden *Network, opts Options) (*Result, error) {
 	return sasimi.Run(golden, sasimi.Config{
-		Metric:        opts.Metric,
-		Threshold:     opts.Threshold,
-		Estimator:     opts.Estimator,
-		NumPatterns:   opts.NumPatterns,
-		Seed:          opts.Seed,
-		KeepTrace:     opts.KeepTrace,
-		MaxIterations: opts.MaxIterations,
-		VerifyTopK:    opts.VerifyTopK,
+		Metric:          opts.Metric,
+		Threshold:       opts.Threshold,
+		Estimator:       opts.Estimator,
+		NumPatterns:     opts.NumPatterns,
+		Seed:            opts.Seed,
+		KeepTrace:       opts.KeepTrace,
+		MaxIterations:   opts.MaxIterations,
+		VerifyTopK:      opts.VerifyTopK,
+		Tracer:          opts.Tracer,
+		Metrics:         opts.Metrics,
+		CheckInvariants: opts.CheckInvariants,
 	})
 }
 

@@ -5,21 +5,32 @@
 //
 //	alsrun -circuit mul8 -metric er -threshold 0.01
 //	alsrun -circuit path/to/c880.bench -metric aem -threshold 12.5 -out approx.bench
+//	alsrun -circuit c880 -trace t.jsonl -metrics m.json
 //	alsrun -list
 //
 // The -estimator flag selects batch (the paper's method, default), full
 // (per-candidate resimulation) or local (no propagation, the prior-work
-// baseline). With -trace, every accepted substitution is printed.
+// baseline). With -iters, every accepted substitution is printed.
+//
+// Observability (sasimi flow): -trace streams phase / iteration / accept
+// events as JSON Lines, -metrics snapshots the metrics registry (counters,
+// the five per-phase timers, estimator-drift histograms split by the
+// exactness certificate) as JSON, -pprof serves net/http/pprof plus a
+// Prometheus /metrics endpoint while the flow runs, and -summary prints a
+// phase/drift table at the end. Any of these also implies the summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"batchals"
+	"batchals/internal/obs"
 	"batchals/internal/snap"
 	"batchals/internal/stoch"
 	"batchals/internal/wu"
@@ -36,7 +47,13 @@ func main() {
 		patterns    = flag.Int("m", 10000, "Monte Carlo pattern count")
 		seed        = flag.Int64("seed", 0, "random seed")
 		outFile     = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
-		trace       = flag.Bool("trace", false, "print every accepted substitution")
+		iters       = flag.Bool("iters", false, "print every accepted substitution")
+		checkInv    = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
+		traceFile   = flag.String("trace", "", "write a JSONL event trace (phases, iterations, accepts) to this file")
+		traceCands  = flag.Bool("trace-cands", false, "include per-candidate scoring events in the -trace stream (large)")
+		metricsFile = flag.String("metrics", "", "write a JSON metrics snapshot (counters, phase timers, drift histograms) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address during the run")
+		summary     = flag.Bool("summary", false, "print an end-of-run phase/drift summary table")
 		list        = flag.Bool("list", false, "list built-in benchmark names and exit")
 	)
 	flag.Parse()
@@ -57,11 +74,12 @@ func main() {
 	}
 
 	opts := batchals.Options{
-		Threshold:   *threshold,
-		NumPatterns: *patterns,
-		Seed:        *seed,
-		KeepTrace:   *trace,
-		VerifyTopK:  *verifyTopK,
+		Threshold:       *threshold,
+		NumPatterns:     *patterns,
+		Seed:            *seed,
+		KeepTrace:       *iters,
+		VerifyTopK:      *verifyTopK,
+		CheckInvariants: *checkInv,
 	}
 	switch strings.ToLower(*metricFlag) {
 	case "er":
@@ -82,6 +100,72 @@ func main() {
 		fatal(fmt.Errorf("unknown estimator %q (want batch, full or local)", *estimator))
 	}
 
+	// Observability: every sink shares the process-global registry so one
+	// snapshot covers the flow metrics and the always-on sim/CPM substrate
+	// counters.
+	observe := *traceFile != "" || *metricsFile != "" || *pprofAddr != "" || *summary
+	var (
+		tracer  *obs.JSONLTracer
+		traceW  *os.File
+		flushed bool
+	)
+	if *traceFile != "" {
+		traceW, err = os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewJSONLTracer(traceW)
+		tracer.EmitCandidates = *traceCands
+		opts.Tracer = tracer
+	}
+	if observe {
+		opts.Metrics = obs.Default()
+	}
+	if *pprofAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			obs.Default().Snapshot().WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alsrun: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/ (Prometheus text at /metrics)\n", *pprofAddr)
+	}
+	finishObs := func(phases obs.PhaseReport) {
+		if tracer != nil && !flushed {
+			flushed = true
+			if err := tracer.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := traceW.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *traceFile)
+		}
+		if !observe {
+			return
+		}
+		snapshot := obs.Default().Snapshot()
+		if *metricsFile != "" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snapshot.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsFile)
+		}
+		if err := obs.WriteSummary(os.Stdout, phases, snapshot); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Printf("circuit: %s (%d inputs, %d outputs, area %.0f, delay %.0f)\n",
 		golden.Name, golden.NumInputs(), golden.NumOutputs(),
 		batchals.Area(golden), batchals.Delay(golden))
@@ -90,7 +174,8 @@ func main() {
 
 	switch strings.ToLower(*flowFlag) {
 	case "sasimi":
-		runSASIMI(golden, opts, *trace, *outFile)
+		res := runSASIMI(golden, opts, *iters, *outFile)
+		finishObs(res.Phases)
 	case "snap":
 		res, err := snap.Run(golden, snap.Config{
 			Metric:      opts.Metric,
@@ -106,6 +191,7 @@ func main() {
 			res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
 		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
 		saveOut(*outFile, res.Approx)
+		finishObs(obs.PhaseReport{})
 	case "wu":
 		res, err := wu.Run(golden, wu.Config{
 			Metric:      opts.Metric,
@@ -121,6 +207,7 @@ func main() {
 			res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
 		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
 		saveOut(*outFile, res.Approx)
+		finishObs(obs.PhaseReport{})
 	case "stoch":
 		res, err := stoch.Run(golden, stoch.Config{
 			Metric:      opts.Metric,
@@ -136,17 +223,18 @@ func main() {
 			res.BatchMoves, res.FinalError)
 		fmt.Printf("runtime: %s\n", res.TotalTime.Round(time.Millisecond))
 		saveOut(*outFile, res.Approx)
+		finishObs(obs.PhaseReport{})
 	default:
 		fatal(fmt.Errorf("unknown flow %q (want sasimi, snap, wu or stoch)", *flowFlag))
 	}
 }
 
-func runSASIMI(golden *batchals.Network, opts batchals.Options, trace bool, outFile string) {
+func runSASIMI(golden *batchals.Network, opts batchals.Options, iters bool, outFile string) *batchals.Result {
 	res, err := batchals.Approximate(golden, opts)
 	if err != nil {
 		fatal(err)
 	}
-	if trace {
+	if iters {
 		for _, it := range res.Iterations {
 			inv := ""
 			if it.Inverted {
@@ -163,6 +251,7 @@ func runSASIMI(golden *batchals.Network, opts batchals.Options, trace bool, outF
 		res.CPMTime.Round(time.Millisecond),
 		res.EstimateTime.Round(time.Millisecond))
 	saveOut(outFile, res.Approx)
+	return res
 }
 
 func saveOut(path string, n *batchals.Network) {

@@ -1,0 +1,239 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// committed JSON baseline, optionally enriched with the observability
+// layer's per-phase breakdown of a smoke SASIMI flow, and checks a new
+// bench run against a committed baseline.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -benchtime=1x . | benchjson -phases c880 -o BENCH_pr2.json
+//	go test -run='^$' -bench=. -benchmem -benchtime=1x . | benchjson -against BENCH_pr2.json
+//
+// Without -against, benchjson parses the bench lines on stdin and writes
+// the baseline JSON to -o (default stdout). With -against, it instead
+// verifies that every benchmark recorded in the baseline still appears in
+// the new run (so CI fails when a paper experiment's benchmark silently
+// disappears) and prints an ns/op comparison; it does not gate on timing,
+// which is hardware-dependent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"batchals"
+	"batchals/internal/obs"
+)
+
+// Bench is one parsed benchmark result line. Metrics maps unit -> value
+// for the standard pairs (ns/op, B/op, allocs/op) and any custom
+// b.ReportMetric units (area_ratio, speedup_x, ...).
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// PhaseBreakdown embeds the obs layer's five-phase accounting of one
+// instrumented smoke flow into the baseline.
+type PhaseBreakdown struct {
+	Circuit   string           `json:"circuit"`
+	M         int              `json:"m"`
+	Threshold float64          `json:"threshold"`
+	TotalNS   int64            `json:"total_ns"`
+	PhaseNS   map[string]int64 `json:"phase_ns"`
+	Spans     map[string]int64 `json:"spans"`
+}
+
+// Baseline is the committed BENCH_*.json document.
+type Baseline struct {
+	GeneratedWith string          `json:"generated_with"`
+	Benchmarks    []Bench         `json:"benchmarks"`
+	Phases        *PhaseBreakdown `json:"phases,omitempty"`
+}
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "read bench output from this file instead of stdin")
+		outFile = flag.String("o", "", "write the baseline JSON here (default stdout)")
+		phases  = flag.String("phases", "", "also run an instrumented smoke flow on this benchmark circuit and embed its phase breakdown")
+		m       = flag.Int("m", 2000, "pattern count for the -phases smoke flow")
+		thr     = flag.Float64("threshold", 0.01, "ER budget for the -phases smoke flow")
+		against = flag.String("against", "", "compare stdin bench output against this committed baseline instead of writing one")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *against != "" {
+		if err := compare(*against, benches); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	base := Baseline{
+		GeneratedWith: "go test -run='^$' -bench=. -benchmem -benchtime=1x .",
+		Benchmarks:    benches,
+	}
+	if *phases != "" {
+		pb, err := runPhases(*phases, *m, *thr)
+		if err != nil {
+			fatal(err)
+		}
+		base.Phases = pb
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench extracts benchmark result lines from go test output. A result
+// line is "BenchmarkName-P <iters> <value> <unit> [<value> <unit>]...".
+func parseBench(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{
+			Name:       strings.SplitN(f[0], "-", 2)[0],
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), f[i])
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// runPhases runs one observed SASIMI smoke flow and returns its five-phase
+// wall-time breakdown.
+func runPhases(circuit string, m int, thr float64) (*PhaseBreakdown, error) {
+	golden, err := batchals.Benchmark(circuit)
+	if err != nil {
+		return nil, err
+	}
+	res, err := batchals.Approximate(golden, batchals.Options{
+		Metric:      batchals.ErrorRate,
+		Threshold:   thr,
+		NumPatterns: m,
+		Seed:        1,
+		Metrics:     batchals.NewMetrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pb := &PhaseBreakdown{
+		Circuit:   circuit,
+		M:         m,
+		Threshold: thr,
+		TotalNS:   int64(res.Phases.Total()),
+		PhaseNS:   map[string]int64{},
+		Spans:     map[string]int64{},
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		st := res.Phases.Stats[p]
+		pb.PhaseNS[p.String()] = int64(st.Time)
+		pb.Spans[p.String()] = st.Count
+	}
+	return pb, nil
+}
+
+// compare checks the new bench results cover every benchmark in the
+// committed baseline and prints an informational ns/op comparison.
+func compare(baselinePath string, fresh []Bench) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	got := map[string]Bench{}
+	for _, b := range fresh {
+		got[b.Name] = b
+	}
+	var missing []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	byName := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, name := range names {
+		nb, ok := got[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		ob := byName[name]
+		if o, n := ob.Metrics["ns/op"], nb.Metrics["ns/op"]; o > 0 && n > 0 {
+			fmt.Printf("%-32s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+				name, o, n, 100*(n-o)/o)
+		} else {
+			fmt.Printf("%-32s present\n", name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("baseline benchmarks missing from this run: %s",
+			strings.Join(missing, ", "))
+	}
+	fmt.Printf("all %d baseline benchmarks present\n", len(names))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

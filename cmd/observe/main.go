@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"batchals"
 	"batchals/internal/core"
@@ -52,7 +53,12 @@ func main() {
 	vals := sim.Simulate(n, p)
 	cpm := core.Build(n, vals)
 	rows := core.TestabilityReport(n, vals, cpm)
-	fmt.Printf("%s: %d gates, M=%d patterns, CPM built in %s\n",
-		n.Name, n.NumGates(), *m, cpm.BuildTime().Round(1000))
+	bt := cpm.BuildTime()
+	unit := time.Millisecond
+	if bt < 10*time.Millisecond {
+		unit = time.Microsecond
+	}
+	fmt.Printf("%s: %d gates, M=%d patterns, CPM built in %v\n",
+		n.Name, n.NumGates(), *m, bt.Round(unit))
 	fmt.Print(core.RenderTestability(rows, *top))
 }

@@ -28,7 +28,19 @@ import (
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/emetric"
+	"batchals/internal/obs"
 	"batchals/internal/sim"
+)
+
+// Always-on substrate counters on the default metrics registry; see the
+// matching block in internal/sim. Pre-resolved so the per-event cost is a
+// single atomic add.
+var (
+	statCPMBuilds  = obs.Default().Counter("cpm_builds_total")
+	statCPMBuildNS = obs.Default().Counter("cpm_build_ns_total")
+	statDeltaER    = obs.Default().Counter("cpm_delta_er_queries_total")
+	statDeltaAEM   = obs.Default().Counter("cpm_delta_aem_queries_total")
+	statExactDelta = obs.Default().Counter("exact_delta_queries_total")
 )
 
 // CPM is the change propagation matrix for one network, one pattern set and
@@ -117,6 +129,8 @@ func Build(n *circuit.Network, vals *sim.Values) *CPM {
 		}
 	}
 	c.buildTime = time.Since(start)
+	statCPMBuilds.Inc()
+	statCPMBuildNS.Add(int64(c.buildTime))
 	return c
 }
 
@@ -226,6 +240,7 @@ func (c *CPM) DeltaER(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) 
 	if c.restricted {
 		panic("core: DeltaER on an output-restricted CPM")
 	}
+	statDeltaER.Inc()
 	if !change.Any() {
 		return 0
 	}
@@ -298,6 +313,7 @@ func (c *CPM) DeltaAEM(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State)
 	if c.o > 63 {
 		panic("core: DeltaAEM requires <= 63 outputs")
 	}
+	statDeltaAEM.Inc()
 	if !change.Any() {
 		return 0
 	}
@@ -428,5 +444,7 @@ func BuildForOutputs(n *circuit.Network, vals *sim.Values, outputs []int) *CPM {
 		}
 	}
 	c.buildTime = time.Since(start)
+	statCPMBuilds.Inc()
+	statCPMBuildNS.Add(int64(c.buildTime))
 	return c
 }

@@ -41,6 +41,7 @@ func (m Metric) Value(st *emetric.State) float64 {
 func ExactDelta(n *circuit.Network, vals *sim.Values, nx circuit.NodeID,
 	newVal *bitvec.Vec, st *emetric.State, metric Metric) float64 {
 
+	statExactDelta.Inc()
 	snap := sim.SnapshotCone(n, vals, nx)
 	defer snap.Restore(vals)
 

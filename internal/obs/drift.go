@@ -1,0 +1,52 @@
+package obs
+
+// Estimator-drift accounting. The paper's batch estimator evaluates
+// Boolean differences at unperturbed side-input values, so its ΔER/ΔAEM
+// prediction can be wrong wherever a change reconverges (§4.3); PR 1's
+// structural certificate (analyze.Certificate, surfaced as
+// Candidate.Exact) proves where it cannot be. A DriftRecorder turns that
+// caveat into a measured observable: every predicted-vs-actual pair is
+// recorded into one of two histogram series keyed by the certificate, so
+// the reconvergence-induced error is directly visible — the "exact"
+// series must concentrate at zero (up to metric-measurement coupling),
+// all real drift mass sits in the "inexact" series.
+
+// DriftBounds are the signed drift bucket bounds shared by all drift
+// histograms: symmetric decades around zero, matching the magnitudes ER
+// and per-pattern-normalised AEM drifts take on M=10^3..10^5 pattern sets.
+var DriftBounds = []float64{
+	-1e-1, -1e-2, -1e-3, -1e-4, -1e-5, 0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+}
+
+// DriftRecorder records signed predicted-vs-actual error deltas into an
+// exact and an inexact histogram series of a Registry. A nil recorder is
+// inert.
+type DriftRecorder struct {
+	exact   *Histogram
+	inexact *Histogram
+}
+
+// NewDriftRecorder creates (or reattaches to) the pair of drift
+// histograms named name{cert="exact"} and name{cert="inexact"} in reg.
+func NewDriftRecorder(reg *Registry, name string) *DriftRecorder {
+	if reg == nil {
+		return nil
+	}
+	return &DriftRecorder{
+		exact:   reg.Histogram(name+`{cert="exact"}`, DriftBounds),
+		inexact: reg.Histogram(name+`{cert="inexact"}`, DriftBounds),
+	}
+}
+
+// Record observes the signed drift actual−predicted into the series
+// selected by the exactness certificate.
+func (d *DriftRecorder) Record(predicted, actual float64, exact bool) {
+	if d == nil {
+		return
+	}
+	if exact {
+		d.exact.Observe(actual - predicted)
+	} else {
+		d.inexact.Observe(actual - predicted)
+	}
+}

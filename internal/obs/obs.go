@@ -1,0 +1,140 @@
+// Package obs is the flow-wide observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms) snapshotable as JSON or
+// Prometheus text, a Tracer event interface the ALS flows drive, per-phase
+// wall-time and allocation accounting for the five flow phases, and
+// estimator-drift recording split by the CPM-exactness certificate.
+//
+// The package is stdlib-only and imports nothing else from this module, so
+// every other package (sim, core, sasimi, the commands) can depend on it
+// without cycles. Instrumentation follows two disciplines:
+//
+//   - Always-on substrate counters (simulations run, CPM builds, delta
+//     queries) are pre-resolved package variables backed by a single
+//     atomic add — cheap enough to leave enabled unconditionally.
+//   - Event tracing and memory accounting are opt-in: a nil Tracer and a
+//     nil Registry in a flow config short-circuit before any argument is
+//     materialised, so the hot candidate-scoring loop allocates exactly
+//     what it did before this layer existed (asserted by
+//     sasimi's TestNilTracerScoringAllocs).
+package obs
+
+import "time"
+
+// Tracer receives flow events. Implementations must be safe for use from
+// the single flow goroutine; they need not be concurrency-safe. Any method
+// may be a no-op. A nil Tracer in a flow config disables event emission
+// entirely (the flow never calls through a nil interface).
+type Tracer interface {
+	// OnPhase is called at the end of every timed phase span with its
+	// duration and (when memory tracking is enabled) allocation delta.
+	OnPhase(PhaseInfo)
+	// OnIteration is called once per flow iteration, after candidate
+	// scoring and selection, whether or not a candidate was accepted.
+	OnIteration(IterationInfo)
+	// OnCandidate is called for every scored candidate. This is the
+	// highest-volume event; JSONLTracer drops it unless opted in.
+	OnCandidate(CandidateInfo)
+	// OnAccept is called for every accepted substitution, after the
+	// post-apply measurement, with the predicted-vs-actual drift.
+	OnAccept(AcceptInfo)
+}
+
+// PhaseInfo describes one completed phase span.
+type PhaseInfo struct {
+	Phase    Phase
+	Iter     int // 0 for spans outside the iteration loop
+	Duration time.Duration
+	Mem      MemDelta // zero unless memory tracking is on
+}
+
+// IterationInfo summarises one flow iteration.
+type IterationInfo struct {
+	Iter       int
+	CurErr     float64 // measured error entering the iteration
+	Candidates int     // candidates scored
+	Feasible   int     // candidates within the remaining budget
+	Accepted   bool
+	Duration   time.Duration
+}
+
+// CandidateInfo describes one scored candidate.
+type CandidateInfo struct {
+	Iter     int
+	Target   string
+	Sub      string // "const0"/"const1" for constant substitution
+	Inverted bool
+	Delta    float64 // estimated increased error
+	Gain     float64 // predicted area gain
+	Score    float64
+	Exact    bool // estimate carries the CPM-exactness certificate
+}
+
+// AcceptInfo describes one accepted substitution.
+type AcceptInfo struct {
+	Iter      int
+	Target    string
+	Sub       string
+	Inverted  bool
+	Predicted float64 // curErr + estimated delta
+	Actual    float64 // measured error after applying
+	Drift     float64 // Actual - Predicted
+	Exact     bool    // chosen candidate's exactness certificate
+	Area      float64 // circuit area after applying
+}
+
+// VerifyInfo describes one exact recheck of a batch-estimated candidate
+// (the VerifyTopK path). It is routed to drift accounting rather than the
+// Tracer: per-candidate verification drift is an estimator-quality
+// observable, not a flow event.
+type VerifyInfo struct {
+	Iter      int
+	Target    string
+	Predicted float64 // batch-estimated delta
+	Actual    float64 // exact resimulated delta
+	Exact     bool    // certificate of the batch estimate
+}
+
+// multiTracer fans events out to several tracers.
+type multiTracer []Tracer
+
+// Multi combines tracers into one; nil entries are dropped. Multi(nil...)
+// and Multi() return nil, preserving the nil-tracer fast path.
+func Multi(ts ...Tracer) Tracer {
+	var live multiTracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multiTracer) OnPhase(i PhaseInfo) {
+	for _, t := range m {
+		t.OnPhase(i)
+	}
+}
+
+func (m multiTracer) OnIteration(i IterationInfo) {
+	for _, t := range m {
+		t.OnIteration(i)
+	}
+}
+
+func (m multiTracer) OnCandidate(i CandidateInfo) {
+	for _, t := range m {
+		t.OnCandidate(i)
+	}
+}
+
+func (m multiTracer) OnAccept(i AcceptInfo) {
+	for _, t := range m {
+		t.OnAccept(i)
+	}
+}

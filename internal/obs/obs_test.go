@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordTracer captures events for assertions.
+type recordTracer struct {
+	phases  []PhaseInfo
+	iters   []IterationInfo
+	cands   []CandidateInfo
+	accepts []AcceptInfo
+}
+
+func (r *recordTracer) OnPhase(i PhaseInfo)         { r.phases = append(r.phases, i) }
+func (r *recordTracer) OnIteration(i IterationInfo) { r.iters = append(r.iters, i) }
+func (r *recordTracer) OnCandidate(i CandidateInfo) { r.cands = append(r.cands, i) }
+func (r *recordTracer) OnAccept(i AcceptInfo)       { r.accepts = append(r.accepts, i) }
+
+var allocSink []byte
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"pattern_gen", "simulate", "cpm_build", "estimate", "verify_apply"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("phase %d = %q, want %q", p, p.String(), want[p])
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase must stringify as unknown")
+	}
+}
+
+func TestProfileAggregatesAndEmits(t *testing.T) {
+	rec := &recordTracer{}
+	pr := &Profile{TrackMem: true, Tracer: rec}
+	pr.Iter = 3
+	sp := pr.Begin(PhaseSimulate)
+	// Allocate something measurable; the package-level sink keeps the
+	// slice from being stack-allocated or optimised away.
+	allocSink = make([]byte, 1<<16)
+	time.Sleep(time.Millisecond)
+	pr.End(sp)
+
+	rep := pr.Report()
+	st := rep.Stats[PhaseSimulate]
+	if st.Count != 1 || st.Time <= 0 {
+		t.Fatalf("bad span aggregate: %+v", st)
+	}
+	if st.Mem.Mallocs <= 0 || st.Mem.Bytes < 1<<16 {
+		t.Fatalf("mem delta not tracked: %+v", st.Mem)
+	}
+	if rep.Total() != st.Time {
+		t.Fatalf("total %v != simulate %v", rep.Total(), st.Time)
+	}
+	if len(rec.phases) != 1 || rec.phases[0].Phase != PhaseSimulate || rec.phases[0].Iter != 3 {
+		t.Fatalf("OnPhase not emitted correctly: %+v", rec.phases)
+	}
+
+	reg := NewRegistry()
+	pr.Export(reg, "sasimi")
+	snap := reg.Snapshot()
+	if snap.Counters[`sasimi_phase_ns{phase="simulate"}`] != int64(st.Time) {
+		t.Fatalf("export missing phase ns: %v", snap.Counters)
+	}
+	if snap.Counters[`sasimi_phase_spans{phase="pattern_gen"}`] != 0 {
+		t.Fatal("unused phase should export zero spans")
+	}
+}
+
+func TestNilProfileIsInert(t *testing.T) {
+	var pr *Profile
+	sp := pr.Begin(PhaseEstimate) // must not panic
+	pr.End(sp)
+	if pr.Report().Total() != 0 {
+		t.Fatal("nil profile reported time")
+	}
+	pr.Export(NewRegistry(), "x") // must not panic
+}
+
+func TestDriftRecorderSplitsByCertificate(t *testing.T) {
+	reg := NewRegistry()
+	d := NewDriftRecorder(reg, "sasimi_accept_drift")
+	d.Record(0.010, 0.010, true)  // exact: zero drift
+	d.Record(0.010, 0.013, false) // inexact: +0.003
+	d.Record(0.020, 0.011, false) // inexact: -0.009
+
+	snap := reg.Snapshot()
+	ex := snap.Histograms[`sasimi_accept_drift{cert="exact"}`]
+	inx := snap.Histograms[`sasimi_accept_drift{cert="inexact"}`]
+	if ex.Count != 1 || ex.Sum != 0 {
+		t.Fatalf("exact series: %+v", ex)
+	}
+	if inx.Count != 2 || inx.Max < 0.003-1e-12 || inx.Min > -0.009+1e-12 {
+		t.Fatalf("inexact series: %+v", inx)
+	}
+
+	var nilRec *DriftRecorder
+	nilRec.Record(1, 2, true) // must not panic
+	if NewDriftRecorder(nil, "x") != nil {
+		t.Fatal("nil registry must yield nil recorder")
+	}
+}
+
+func TestJSONLTracerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.OnPhase(PhaseInfo{Phase: PhaseCPMBuild, Iter: 1, Duration: 42,
+		Mem: MemDelta{Bytes: 100, Mallocs: 3}})
+	tr.OnIteration(IterationInfo{Iter: 1, CurErr: 0.01, Candidates: 10, Feasible: 4,
+		Accepted: true, Duration: 1000})
+	tr.OnCandidate(CandidateInfo{Iter: 1, Target: "g1", Sub: "g2"}) // dropped by default
+	tr.EmitCandidates = true
+	tr.OnCandidate(CandidateInfo{Iter: 1, Target: "g1", Sub: "const0", Delta: 0.002, Exact: true})
+	tr.OnAccept(AcceptInfo{Iter: 1, Target: "g1", Sub: "g2", Predicted: 0.012,
+		Actual: 0.013, Drift: 0.001, Exact: false, Area: 99})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var evs []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	kinds := make([]string, len(evs))
+	for i, ev := range evs {
+		kinds[i] = ev["ev"].(string)
+	}
+	if got, want := strings.Join(kinds, ","), "phase,iter,cand,accept"; got != want {
+		t.Fatalf("event kinds %q, want %q", got, want)
+	}
+	if evs[0]["phase"] != "cpm_build" || evs[0]["ns"] != float64(42) {
+		t.Fatalf("phase event wrong: %v", evs[0])
+	}
+	if evs[3]["drift"] != float64(0.001) || evs[3]["exact"] != false {
+		t.Fatalf("accept event wrong: %v", evs[3])
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing must stay nil (nil fast path)")
+	}
+	a, b := &recordTracer{}, &recordTracer{}
+	if Multi(a, nil) != Tracer(a) {
+		t.Fatal("single live tracer must be returned unwrapped")
+	}
+	m := Multi(a, b)
+	m.OnIteration(IterationInfo{Iter: 1})
+	m.OnAccept(AcceptInfo{Iter: 1})
+	m.OnPhase(PhaseInfo{})
+	m.OnCandidate(CandidateInfo{})
+	if len(a.iters) != 1 || len(b.iters) != 1 || len(a.accepts) != 1 ||
+		len(b.phases) != 1 || len(b.cands) != 1 {
+		t.Fatal("multi tracer did not fan out")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var rep PhaseReport
+	rep.Stats[PhaseSimulate] = PhaseStat{Time: 3 * time.Millisecond, Count: 4,
+		Mem: MemDelta{Bytes: 2048, Mallocs: 10}}
+	rep.Stats[PhaseCPMBuild] = PhaseStat{Time: time.Millisecond, Count: 4}
+
+	reg := NewRegistry()
+	d := NewDriftRecorder(reg, "drift")
+	d.Record(0, 0, true)
+	d.Record(0, 0.004, false)
+
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, rep, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"phase breakdown", "simulate", "cpm_build", "75.0%",
+		`drift{cert="exact"}`, `drift{cert="inexact"}`, "n=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "pattern_gen") {
+		t.Fatalf("summary lists phase with no spans:\n%s", out)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	bounds := []float64{-1, 0, 1}
+	cases := []string{"(-inf, -1]", "(-1, 0]", "(0, 1]", "(1, +inf]"}
+	for i, want := range cases {
+		if got := bucketLabel(bounds, i); got != want {
+			t.Fatalf("bucket %d = %q, want %q", i, got, want)
+		}
+	}
+	if bucketLabel(nil, 0) != "(-inf, +inf]" {
+		t.Fatal("empty bounds label")
+	}
+}

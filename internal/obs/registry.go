@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use; Inc and Add are single atomic operations, so a
+// pre-resolved counter costs nothing measurable on a hot path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotonic;
+// this is not enforced, callers own the contract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric (last value wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram over float64 observations. Bounds
+// are inclusive upper bucket bounds in ascending order; an implicit +Inf
+// bucket catches the rest. Observe is mutex-guarded: histograms sit one
+// level above the innermost loops (one observation per accepted
+// substitution or verification recheck, not per candidate), so a mutex is
+// simpler than striped atomics and still cheap.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1, last is the +Inf bucket
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the frozen state of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"` // upper bounds; +Inf bucket implicit
+	Counts []int64   `json:"counts"` // len(Bounds)+1
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metric
+// handles are get-or-create: looking up the same name twice returns the
+// same Counter/Gauge/Histogram, so packages can resolve their metrics once
+// into package variables and pay only an atomic op per event afterwards.
+//
+// Names may carry an inline Prometheus-style label set, e.g.
+// "sasimi_phase_ns{phase=\"simulate\"}"; the JSON snapshot uses the full
+// string as the key and the Prometheus renderer passes it through.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry. Library packages (sim,
+// core) register their always-on counters here; cmd/alsrun snapshots it so
+// one export covers both flow-level and substrate-level metrics.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use. Bounds must be strictly ascending;
+// they are ignored (the original buckets win) when the histogram already
+// exists.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is read
+// atomically, the set of metrics under a read lock.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		hists = append(hists, name)
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, name := range counters {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range gauges {
+		s.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range hists {
+		r.mu.RLock()
+		h := r.histograms[name]
+		r.mu.RUnlock()
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. Map keys are sorted by
+// encoding/json, so the output is deterministic and diffable.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (untyped values; histograms as cumulative _bucket/_sum/_count
+// series).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%s %v\n", name, s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		base, labels := splitLabels(name)
+		plain := "" // label block for _sum/_count, empty when unlabelled
+		if labels != "" {
+			plain = "{" + strings.TrimSuffix(labels, ",") + "}"
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, labels, formatBound(bound), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
+		fmt.Fprintf(&b, "%s_sum%s %v\n", base, plain, h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, plain, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitLabels separates "name{a="b"}" into ("name", `a="b",`); a plain
+// name yields an empty label prefix.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	base = name[:i]
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return base, ""
+	}
+	return base, inner + ","
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

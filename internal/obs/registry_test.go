@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("counter lookup is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+
+	h := r.Histogram("h", []float64{0, 1, 10})
+	for _, v := range []float64{-3, 0, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	// SearchFloat64s puts v == bound into the bucket whose upper bound it
+	// is: -3 and 0 land in bucket 0 ((-inf,0]), 0.5 in (0,1], 5 in (1,10],
+	// 100 in the +Inf bucket.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Min != -3 || s.Max != 100 || s.Sum != 102.5 {
+		t.Fatalf("min/max/sum = %v/%v/%v", s.Min, s.Max, s.Sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds accepted")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 0})
+}
+
+// TestRegistryConcurrent hammers one registry from 8 goroutines doing
+// Inc/Observe/Set/Snapshot concurrently; under -race (the CI test mode)
+// this proves the registry is data-race free, and the final counter value
+// proves no increment was lost.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("shared_hist", []float64{0, 0.5, 1}).Observe(float64(i%3) / 2)
+				r.Gauge("shared_gauge").Set(float64(g))
+				if i%100 == 0 {
+					snap := r.Snapshot()
+					if snap.Counters["shared_total"] < 0 {
+						t.Error("negative counter in snapshot")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["shared_total"]; got != goroutines*perG {
+		t.Fatalf("lost increments: %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Histograms["shared_hist"].Count; got != goroutines*perG {
+		t.Fatalf("lost observations: %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Counters["a_total"] != 7 || back.Gauges["b"] != 1.5 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if h := back.Histograms["h"]; h.Count != 1 || len(h.Counts) != 2 {
+		t.Fatalf("histogram round trip: %+v", back.Histograms["h"])
+	}
+}
+
+func TestSnapshotPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(3)
+	r.Counter(`phase_ns{phase="simulate"}`).Add(1000)
+	h := r.Histogram(`drift{cert="exact"}`, []float64{-0.1, 0, 0.1})
+	h.Observe(0)
+	h.Observe(0.05)
+	plain := r.Histogram("latency", []float64{1, 2})
+	plain.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"runs_total 3\n",
+		`phase_ns{phase="simulate"} 1000` + "\n",
+		`drift_bucket{cert="exact",le="-0.1"} 0` + "\n",
+		`drift_bucket{cert="exact",le="0"} 1` + "\n",
+		`drift_bucket{cert="exact",le="0.1"} 2` + "\n",
+		`drift_bucket{cert="exact",le="+Inf"} 2` + "\n",
+		`drift_count{cert="exact"} 2` + "\n",
+		`latency_bucket{le="1"} 0` + "\n",
+		`latency_bucket{le="+Inf"} 1` + "\n",
+		"latency_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "{}") {
+		t.Fatalf("empty label braces in output:\n%s", out)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not a singleton")
+	}
+}

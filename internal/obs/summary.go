@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteSummary renders the human-readable end-of-run report: a per-phase
+// wall-time/allocation table from report, followed by the drift series of
+// every histogram in snap whose name carries a cert label (the
+// DriftRecorder naming convention). Either part is skipped when empty.
+func WriteSummary(w io.Writer, report PhaseReport, snap Snapshot) error {
+	var b strings.Builder
+	writePhaseTable(&b, report)
+	writeDriftTable(&b, snap)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePhaseTable(b *strings.Builder, report PhaseReport) {
+	total := report.Total()
+	if total == 0 {
+		return
+	}
+	hasMem := false
+	for _, st := range report.Stats {
+		if st.Mem.Mallocs > 0 {
+			hasMem = true
+			break
+		}
+	}
+	fmt.Fprintf(b, "phase breakdown (%s total):\n", roundDuration(total))
+	for p := Phase(0); p < NumPhases; p++ {
+		st := report.Stats[p]
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "  %-12s %10s  %5.1f%%  %5d spans", p.String(),
+			roundDuration(st.Time), 100*float64(st.Time)/float64(total), st.Count)
+		if hasMem {
+			fmt.Fprintf(b, "  %10s alloc", byteCount(st.Mem.Bytes))
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func writeDriftTable(b *strings.Builder, snap Snapshot) {
+	for _, name := range sortedKeys(snap.Histograms) {
+		if !strings.Contains(name, `cert="`) {
+			continue
+		}
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			fmt.Fprintf(b, "%s: no samples\n", name)
+			continue
+		}
+		fmt.Fprintf(b, "%s: n=%d mean=%+.3g min=%+.3g max=%+.3g\n",
+			name, h.Count, h.Sum/float64(h.Count), h.Min, h.Max)
+		// One bar row per populated bucket, scaled to the fullest bucket.
+		peak := int64(0)
+		for _, c := range h.Counts {
+			if c > peak {
+				peak = c
+			}
+		}
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "    %-22s %6d %s\n", bucketLabel(h.Bounds, i), c,
+				strings.Repeat("#", 1+int(29*c/peak)))
+		}
+	}
+}
+
+func bucketLabel(bounds []float64, i int) string {
+	switch {
+	case len(bounds) == 0:
+		return "(-inf, +inf]"
+	case i == 0:
+		return fmt.Sprintf("(-inf, %g]", bounds[0])
+	case i == len(bounds):
+		return fmt.Sprintf("(%g, +inf]", bounds[len(bounds)-1])
+	default:
+		return fmt.Sprintf("(%g, %g]", bounds[i-1], bounds[i])
+	}
+}
+
+// roundDuration rounds d to a display precision that keeps three or more
+// significant figures for anything from nanosecond-scale microbenchmarks
+// to hour-scale flows.
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLTracer writes flow events as JSON Lines: one self-describing JSON
+// object per line, keyed by "ev" ("phase", "iter", "cand", "accept").
+// Events stream as they happen, so a trace of a crashed or interrupted run
+// is still valid up to its last complete line.
+//
+// Per-candidate events are the bulk of a trace (thousands per iteration on
+// ISCAS-scale circuits) and are dropped unless EmitCandidates is set.
+type JSONLTracer struct {
+	mu             sync.Mutex
+	w              *bufio.Writer
+	enc            *json.Encoder
+	EmitCandidates bool
+}
+
+// NewJSONLTracer wraps w in a buffered JSONL event writer. Call Flush (or
+// Close on the underlying writer after Flush) when the run ends.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	bw := bufio.NewWriter(w)
+	return &JSONLTracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Flush writes any buffered events through to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// jsonlPhase mirrors PhaseInfo with stable JSON field names.
+type jsonlPhase struct {
+	Ev      string `json:"ev"`
+	Iter    int    `json:"iter"`
+	Phase   string `json:"phase"`
+	NS      int64  `json:"ns"`
+	Bytes   int64  `json:"alloc_bytes,omitempty"`
+	Mallocs int64  `json:"mallocs,omitempty"`
+}
+
+// OnPhase emits a "phase" event.
+func (t *JSONLTracer) OnPhase(i PhaseInfo) {
+	t.emit(jsonlPhase{
+		Ev:      "phase",
+		Iter:    i.Iter,
+		Phase:   i.Phase.String(),
+		NS:      int64(i.Duration),
+		Bytes:   i.Mem.Bytes,
+		Mallocs: i.Mem.Mallocs,
+	})
+}
+
+type jsonlIter struct {
+	Ev         string  `json:"ev"`
+	Iter       int     `json:"iter"`
+	CurErr     float64 `json:"cur_err"`
+	Candidates int     `json:"cands"`
+	Feasible   int     `json:"feasible"`
+	Accepted   bool    `json:"accepted"`
+	NS         int64   `json:"ns"`
+}
+
+// OnIteration emits an "iter" event.
+func (t *JSONLTracer) OnIteration(i IterationInfo) {
+	t.emit(jsonlIter{
+		Ev:         "iter",
+		Iter:       i.Iter,
+		CurErr:     i.CurErr,
+		Candidates: i.Candidates,
+		Feasible:   i.Feasible,
+		Accepted:   i.Accepted,
+		NS:         int64(i.Duration),
+	})
+}
+
+type jsonlCand struct {
+	Ev       string  `json:"ev"`
+	Iter     int     `json:"iter"`
+	Target   string  `json:"target"`
+	Sub      string  `json:"sub"`
+	Inverted bool    `json:"inv,omitempty"`
+	Delta    float64 `json:"delta"`
+	Gain     float64 `json:"gain"`
+	Score    float64 `json:"score"`
+	Exact    bool    `json:"exact"`
+}
+
+// OnCandidate emits a "cand" event when EmitCandidates is set.
+func (t *JSONLTracer) OnCandidate(i CandidateInfo) {
+	if !t.EmitCandidates {
+		return
+	}
+	t.emit(jsonlCand{
+		Ev:       "cand",
+		Iter:     i.Iter,
+		Target:   i.Target,
+		Sub:      i.Sub,
+		Inverted: i.Inverted,
+		Delta:    i.Delta,
+		Gain:     i.Gain,
+		Score:    i.Score,
+		Exact:    i.Exact,
+	})
+}
+
+type jsonlAccept struct {
+	Ev        string  `json:"ev"`
+	Iter      int     `json:"iter"`
+	Target    string  `json:"target"`
+	Sub       string  `json:"sub"`
+	Inverted  bool    `json:"inv,omitempty"`
+	Predicted float64 `json:"pred_err"`
+	Actual    float64 `json:"actual_err"`
+	Drift     float64 `json:"drift"`
+	Exact     bool    `json:"exact"`
+	Area      float64 `json:"area"`
+}
+
+// OnAccept emits an "accept" event.
+func (t *JSONLTracer) OnAccept(i AcceptInfo) {
+	t.emit(jsonlAccept{
+		Ev:        "accept",
+		Iter:      i.Iter,
+		Target:    i.Target,
+		Sub:       i.Sub,
+		Inverted:  i.Inverted,
+		Predicted: i.Predicted,
+		Actual:    i.Actual,
+		Drift:     i.Drift,
+		Exact:     i.Exact,
+		Area:      i.Area,
+	})
+}
+
+func (t *JSONLTracer) emit(v any) {
+	t.mu.Lock()
+	// Encode errors (a full disk, a closed pipe) must not abort a synthesis
+	// run over its telemetry; the trace just ends early.
+	_ = t.enc.Encode(v)
+	t.mu.Unlock()
+}
+
+var _ Tracer = (*JSONLTracer)(nil)

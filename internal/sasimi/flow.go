@@ -4,13 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"batchals/internal/analyze"
 	"batchals/internal/bitvec"
 	"batchals/internal/cell"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/obs"
 	"batchals/internal/sim"
 )
 
@@ -52,6 +55,22 @@ type Config struct {
 	Library *cell.Library
 	// KeepTrace records a per-iteration IterationRecord in the result.
 	KeepTrace bool
+	// Tracer, when non-nil, receives flow events: per-phase spans,
+	// per-iteration summaries, per-candidate scores and accepted
+	// substitutions. A nil Tracer costs nothing — the hot loops never
+	// materialise event arguments.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives flow metrics: iteration / candidate
+	// / accept counters, the five per-phase timers and the
+	// estimator-drift histograms (split by the exactness certificate).
+	Metrics *obs.Registry
+	// CheckInvariants re-validates structural invariants after every
+	// accepted substitution: a combinational cycle introduced by the
+	// netlist surgery is reported as a named-cycle error immediately,
+	// instead of a TopoOrder panic on the next simulation. The flow tests
+	// keep it on; production callers pay one DFS per accepted
+	// substitution if they opt in.
+	CheckInvariants bool
 }
 
 func (cfg *Config) fillDefaults() {
@@ -79,8 +98,14 @@ type IterationRecord struct {
 	ActualErr  float64 // measured error after applying, same pattern set
 	Area       float64 // circuit area after applying
 	Candidates int     // candidates evaluated this iteration
-	CPMTime    time.Duration
-	IterTime   time.Duration
+	Feasible   int     // candidates within the remaining budget
+	Exact      bool    // chosen estimate carried the exactness certificate
+	// Drift is ActualErr − (error before this iteration + EstDelta): the
+	// estimator error realised by this substitution. Zero (up to float
+	// noise) whenever Exact is set or the estimate was verified exactly.
+	Drift    float64
+	CPMTime  time.Duration
+	IterTime time.Duration
 }
 
 // Result is the outcome of a flow run.
@@ -98,6 +123,10 @@ type Result struct {
 	TotalTime     time.Duration
 	CPMTime       time.Duration // total time spent building CPMs
 	EstimateTime  time.Duration // total time spent estimating candidates
+	// Phases is the per-phase wall-time (and, when a Tracer or Metrics
+	// registry was configured, allocation) breakdown of the whole run
+	// across the five flow phases.
+	Phases obs.PhaseReport
 }
 
 // AreaRatio returns FinalArea / OriginalArea.
@@ -106,6 +135,160 @@ func (r *Result) AreaRatio() float64 {
 		return 1
 	}
 	return r.FinalArea / r.OriginalArea
+}
+
+// ReplayTrace re-emits the run's recorded trace through tr: the aggregate
+// phase spans, then one iteration + accept event per KeepTrace record.
+// This lets a run that was executed without a tracer (or whose Result was
+// loaded elsewhere) feed the same JSONL exporter as a live run.
+func (r *Result) ReplayTrace(tr obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		st := r.Phases.Stats[p]
+		if st.Count == 0 {
+			continue
+		}
+		tr.OnPhase(obs.PhaseInfo{Phase: p, Duration: st.Time, Mem: st.Mem})
+	}
+	prevErr := 0.0
+	for _, it := range r.Iterations {
+		tr.OnIteration(obs.IterationInfo{
+			Iter:       it.Iter,
+			CurErr:     prevErr,
+			Candidates: it.Candidates,
+			Feasible:   it.Feasible,
+			Accepted:   true,
+			Duration:   it.IterTime,
+		})
+		tr.OnAccept(obs.AcceptInfo{
+			Iter:      it.Iter,
+			Target:    it.Target,
+			Sub:       it.Sub,
+			Inverted:  it.Inverted,
+			Predicted: it.ActualErr - it.Drift,
+			Actual:    it.ActualErr,
+			Drift:     it.Drift,
+			Exact:     it.Exact,
+			Area:      it.Area,
+		})
+		prevErr = it.ActualErr
+	}
+}
+
+// runObs bundles the optional observability sinks of one run. A nil
+// *runObs means "not observed": every method nil-checks the receiver
+// first, so the flow body calls them unconditionally and the unobserved
+// path costs one predictable branch — and, critically, zero allocations,
+// because event structs are only built after the nil checks pass.
+type runObs struct {
+	tracer      obs.Tracer
+	reg         *obs.Registry
+	net         *circuit.Network
+	iters       *obs.Counter
+	cands       *obs.Counter
+	accepts     *obs.Counter
+	rollbacks   *obs.Counter
+	acceptDrift *obs.DriftRecorder
+	verifyDrift *obs.DriftRecorder
+}
+
+func newRunObs(cfg *Config, net *circuit.Network) *runObs {
+	if cfg.Tracer == nil && cfg.Metrics == nil {
+		return nil
+	}
+	o := &runObs{tracer: cfg.Tracer, reg: cfg.Metrics, net: net}
+	if reg := cfg.Metrics; reg != nil {
+		o.iters = reg.Counter("sasimi_iterations_total")
+		o.cands = reg.Counter("sasimi_candidates_scored_total")
+		o.accepts = reg.Counter("sasimi_accepts_total")
+		o.rollbacks = reg.Counter("sasimi_rollbacks_total")
+		o.acceptDrift = obs.NewDriftRecorder(reg, "sasimi_accept_drift")
+		o.verifyDrift = obs.NewDriftRecorder(reg, "sasimi_verify_drift")
+	}
+	return o
+}
+
+func (o *runObs) candidateScored(iter int, c *Candidate) {
+	if o == nil {
+		return
+	}
+	if o.cands != nil {
+		o.cands.Inc()
+	}
+	if o.tracer != nil {
+		o.tracer.OnCandidate(obs.CandidateInfo{
+			Iter:     iter,
+			Target:   o.net.NameOf(c.Target),
+			Sub:      subName(o.net, c),
+			Inverted: c.Inverted,
+			Delta:    c.Delta,
+			Gain:     c.AreaGain,
+			Score:    c.Score,
+			Exact:    c.Exact,
+		})
+	}
+}
+
+func (o *runObs) verified(iter int, c *Candidate, batchDelta, exactDelta float64, wasExact bool) {
+	if o == nil {
+		return
+	}
+	if o.verifyDrift != nil {
+		o.verifyDrift.Record(batchDelta, exactDelta, wasExact)
+	}
+}
+
+func (o *runObs) iteration(iter int, curErr float64, cands, feasible int, accepted bool, d time.Duration) {
+	if o == nil {
+		return
+	}
+	if o.iters != nil {
+		o.iters.Inc()
+	}
+	if o.tracer != nil {
+		o.tracer.OnIteration(obs.IterationInfo{
+			Iter:       iter,
+			CurErr:     curErr,
+			Candidates: cands,
+			Feasible:   feasible,
+			Accepted:   accepted,
+			Duration:   d,
+		})
+	}
+}
+
+func (o *runObs) accepted(iter int, target, sub string, inverted bool, predicted, actual float64, exact bool, area float64) {
+	if o == nil {
+		return
+	}
+	if o.accepts != nil {
+		o.accepts.Inc()
+	}
+	if o.acceptDrift != nil {
+		o.acceptDrift.Record(predicted, actual, exact)
+	}
+	if o.tracer != nil {
+		o.tracer.OnAccept(obs.AcceptInfo{
+			Iter:      iter,
+			Target:    target,
+			Sub:       sub,
+			Inverted:  inverted,
+			Predicted: predicted,
+			Actual:    actual,
+			Drift:     actual - predicted,
+			Exact:     exact,
+			Area:      area,
+		})
+	}
+}
+
+func (o *runObs) rolledBack() {
+	if o == nil || o.rollbacks == nil {
+		return
+	}
+	o.rollbacks.Inc()
 }
 
 // Run executes the SASIMI flow on a copy of golden and returns the
@@ -123,15 +306,24 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sasimi: invalid input network: %w", err)
 	}
 
+	observed := cfg.Tracer != nil || cfg.Metrics != nil
+	prof := &obs.Profile{Tracer: cfg.Tracer, TrackMem: observed}
+
+	sp := prof.Begin(obs.PhasePatternGen)
 	patterns := cfg.Patterns
 	if patterns == nil {
 		patterns = sim.RandomPatterns(golden.NumInputs(), cfg.NumPatterns, cfg.Seed)
 	}
+	prof.End(sp)
+
+	sp = prof.Begin(obs.PhaseSimulate)
 	goldenVals := sim.Simulate(golden, patterns)
 	goldenOut := sim.OutputMatrix(golden, goldenVals)
+	prof.End(sp)
 
 	approx := golden.Clone()
 	est := newEstimator(cfg.Estimator)
+	o := newRunObs(&cfg, approx)
 
 	res := &Result{
 		Approx:       approx,
@@ -148,52 +340,50 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 			break
 		}
 		iterStart := time.Now()
+		prof.Iter = iter
 
+		sp = prof.Begin(obs.PhaseSimulate)
 		vals := sim.Simulate(approx, patterns)
 		st := emetric.NewState(goldenOut, sim.OutputMatrix(approx, vals))
+		prof.End(sp)
 		curErr := cfg.Metric.Value(st)
 		res.FinalError = curErr
 
 		ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric}
+		sp = prof.Begin(obs.PhaseCPMBuild)
 		est.prepare(ctx)
+		prof.End(sp)
 		var cpmTime time.Duration
 		if ctx.cpm != nil {
 			cpmTime = ctx.cpm.BuildTime()
 			res.CPMTime += cpmTime
 		}
 
+		sp = prof.Begin(obs.PhaseEstimate)
 		arrival := cfg.Library.NodeArrival(approx)
 		invDelay := cfg.Library.GateDelay(circuit.KindNot)
 		cands := gatherCandidates(approx, vals, &cfg, arrival, invDelay)
 		if len(cands) == 0 {
+			prof.End(sp)
+			o.iteration(iter, curErr, 0, 0, false, time.Since(iterStart))
 			break
 		}
 
 		// Estimate the increased error of every candidate (the batch step)
 		// and pick the best feasible one by ΔArea/ΔError score.
 		estStart := time.Now()
-		best := -1
-		var feasible []int
-		for i := range cands {
-			c := &cands[i]
-			sub := c.substituteValue(vals, scratch)
-			change.Xor(vals.Node(c.Target), sub)
-			c.Delta = est.delta(c.Target, sub, change)
-			c.Exact = est.exactFor(c.Target)
-			c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
-			if curErr+c.Delta > cfg.Threshold+1e-12 {
-				continue // estimated to bust the budget
-			}
-			feasible = append(feasible, i)
-			if best == -1 || c.Score > cands[best].Score {
-				best = i
-			}
-		}
+		best, feasible := scoreCandidates(est, cands, vals, curErr, cfg.Threshold,
+			scratch, change, o, iter)
+		prof.End(sp)
+
+		sp = prof.Begin(obs.PhaseVerifyApply)
 		if cfg.VerifyTopK > 0 && cfg.Estimator != EstimatorFull && len(feasible) > 0 {
-			best = verifyTopK(approx, vals, st, cfg, cands, feasible, curErr, scratch, change)
+			best = verifyTopK(approx, vals, st, cfg, cands, feasible, curErr, scratch, change, o, iter)
 		}
 		res.EstimateTime += time.Since(estStart)
 		if best == -1 {
+			prof.End(sp)
+			o.iteration(iter, curErr, len(cands), len(feasible), false, time.Since(iterStart))
 			break // nothing fits in the remaining budget
 		}
 		chosen := cands[best]
@@ -202,26 +392,41 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		// be rolled back, then measure the actual error (paper §3.2).
 		backup := approx.Clone()
 		applyCandidate(approx, &chosen)
+		if cfg.CheckInvariants {
+			if err := checkAcyclic(approx, backup, &chosen); err != nil {
+				prof.End(sp)
+				return nil, err
+			}
+		}
 
 		newVals := sim.Simulate(approx, patterns)
 		newSt := emetric.NewState(goldenOut, sim.OutputMatrix(approx, newVals))
 		actual := cfg.Metric.Value(newSt)
+		predicted := curErr + chosen.Delta
 		if actual > cfg.Threshold+1e-12 {
 			// The estimate was wrong and the budget is blown: restore the
 			// previous circuit and stop, as the paper's flow does.
 			*approx = *backup
+			prof.End(sp)
+			o.rolledBack()
+			o.iteration(iter, curErr, len(cands), len(feasible), false, time.Since(iterStart))
 			break
 		}
+		prof.End(sp)
 
 		estAccum += chosen.Delta
 		res.NumIterations++
 		res.FinalArea = cfg.Library.NetworkArea(approx)
 		res.FinalError = actual
+		targetName := backup.NameOf(chosen.Target)
+		subN := subName(backup, &chosen)
+		o.accepted(iter, targetName, subN, chosen.Inverted, predicted, actual, chosen.Exact, res.FinalArea)
+		o.iteration(iter, curErr, len(cands), len(feasible), true, time.Since(iterStart))
 		if cfg.KeepTrace {
 			res.Iterations = append(res.Iterations, IterationRecord{
 				Iter:       iter,
-				Target:     backup.NameOf(chosen.Target),
-				Sub:        subName(backup, &chosen),
+				Target:     targetName,
+				Sub:        subN,
 				Inverted:   chosen.Inverted,
 				EstGain:    chosen.AreaGain,
 				EstDelta:   chosen.Delta,
@@ -229,6 +434,9 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 				ActualErr:  actual,
 				Area:       res.FinalArea,
 				Candidates: len(cands),
+				Feasible:   len(feasible),
+				Exact:      chosen.Exact,
+				Drift:      actual - predicted,
 				CPMTime:    cpmTime,
 				IterTime:   time.Since(iterStart),
 			})
@@ -236,19 +444,80 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	}
 
 	res.TotalTime = time.Since(start)
+	res.Phases = prof.Report()
+	prof.Export(cfg.Metrics, "sasimi")
 	if err := approx.Validate(); err != nil {
 		return nil, fmt.Errorf("sasimi: flow corrupted the network: %w", err)
 	}
 	return res, nil
 }
 
+// checkAcyclic closes the documented ReplaceFanin gap: circuit editing
+// does not itself forbid a substitution that closes a combinational loop
+// (gatherCandidates screens for it, but the screen and the surgery are
+// separate code paths). Under Config.CheckInvariants every accepted
+// substitution is re-checked here, turning what would be a TopoOrder
+// panic inside the next simulation into an error that names the cycle.
+func checkAcyclic(approx, backup *circuit.Network, c *Candidate) error {
+	cyc := analyze.FindCycle(approx)
+	if cyc == nil {
+		return nil
+	}
+	return fmt.Errorf("sasimi: substituting %s <- %s created combinational cycle %s",
+		backup.NameOf(c.Target), subName(backup, c), cycleNames(approx, cyc))
+}
+
+// cycleNames renders a cycle as "a -> b -> c -> a" for error messages.
+func cycleNames(net *circuit.Network, cyc []circuit.NodeID) string {
+	names := make([]string, 0, len(cyc)+1)
+	for _, id := range cyc {
+		names = append(names, net.NameOf(id))
+	}
+	if len(cyc) > 0 {
+		names = append(names, net.NameOf(cyc[0]))
+	}
+	return strings.Join(names, " -> ")
+}
+
+// scoreCandidates runs the batch estimation inner loop: it fills
+// Delta/Exact/Score for every candidate and returns the index of the best
+// feasible candidate (-1 if none fits the remaining budget) plus the list
+// of feasible indices. With o == nil this is exactly the pre-observability
+// hot loop — TestNilTracerScoringAllocs pins that it allocates nothing
+// beyond the estimator's own scratch work.
+func scoreCandidates(est estimator, cands []Candidate, vals *sim.Values,
+	curErr, threshold float64, scratch, change *bitvec.Vec, o *runObs, iter int) (int, []int) {
+
+	best := -1
+	var feasible []int
+	for i := range cands {
+		c := &cands[i]
+		sub := c.substituteValue(vals, scratch)
+		change.Xor(vals.Node(c.Target), sub)
+		c.Delta = est.delta(c.Target, sub, change)
+		c.Exact = est.exactFor(c.Target)
+		c.Score = score(c.AreaGain, c.Delta, vals.M)
+		o.candidateScored(iter, c)
+		if curErr+c.Delta > threshold+1e-12 {
+			continue // estimated to bust the budget
+		}
+		feasible = append(feasible, i)
+		if best == -1 || c.Score > cands[best].Score {
+			best = i
+		}
+	}
+	return best, feasible
+}
+
 // verifyTopK re-evaluates the K best-scoring feasible candidates with
 // exact cone resimulation and returns the index of the best exactly-scored
 // feasible candidate, or -1 if none survives. The verified candidates'
-// Delta and Score fields are overwritten with exact values.
+// Delta and Score fields are overwritten with exact values; each
+// batch-vs-exact pair is recorded as verification drift, split by the
+// batch estimate's exactness certificate.
 func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
 	cfg Config, cands []Candidate, feasible []int, curErr float64,
-	scratch, change *bitvec.Vec) int {
+	scratch, change *bitvec.Vec, o *runObs, iter int) int {
 
 	k := cfg.VerifyTopK
 	if k > len(feasible) {
@@ -262,9 +531,11 @@ func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
 	for _, idx := range feasible[:k] {
 		c := &cands[idx]
 		sub := c.substituteValue(vals, scratch)
+		batchDelta, wasExact := c.Delta, c.Exact
 		c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
 		c.Exact = true
 		c.Score = score(c.AreaGain, c.Delta, vals.M)
+		o.verified(iter, c, batchDelta, c.Delta, wasExact)
 		if curErr+c.Delta > cfg.Threshold+1e-12 {
 			continue
 		}
@@ -341,13 +612,7 @@ func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, erro
 	cands := gatherCandidates(approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot))
 	scratch := bitvec.New(patterns.NumPatterns())
 	change := bitvec.New(patterns.NumPatterns())
-	for i := range cands {
-		c := &cands[i]
-		sub := c.substituteValue(vals, scratch)
-		change.Xor(vals.Node(c.Target), sub)
-		c.Delta = est.delta(c.Target, sub, change)
-		c.Exact = est.exactFor(c.Target)
-		c.Score = score(c.AreaGain, c.Delta, patterns.NumPatterns())
-	}
+	o := newRunObs(&cfg, approx)
+	scoreCandidates(est, cands, vals, 0, cfg.Threshold, scratch, change, o, 1)
 	return cands, nil
 }

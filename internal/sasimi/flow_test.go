@@ -14,6 +14,10 @@ import (
 
 func runOn(t *testing.T, netName string, cfg Config) *Result {
 	t.Helper()
+	// Structural invariant checking is on by default in tests: any
+	// substitution that closes a combinational loop fails the run with a
+	// named cycle instead of panicking downstream.
+	cfg.CheckInvariants = true
 	n, err := bench.ByName(netName)
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +31,7 @@ func runOn(t *testing.T, netName string, cfg Config) *Result {
 
 func TestZeroThresholdKeepsExactCircuit(t *testing.T) {
 	n := bench.RCA(8)
-	res, err := Run(n, Config{Metric: core.MetricER, Threshold: 0, NumPatterns: 2000, Seed: 1})
+	res, err := Run(n, Config{Metric: core.MetricER, Threshold: 0, NumPatterns: 2000, Seed: 1, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +125,7 @@ func TestAEMFlow(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
 		Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 4000, Seed: 9,
-		Estimator: EstimatorBatch, KeepTrace: true,
+		Estimator: EstimatorBatch, KeepTrace: true, CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +162,8 @@ func TestDelayNeverIncreases(t *testing.T) {
 	for _, name := range []string{"rca8", "mul4", "cmp8"} {
 		golden, _ := bench.ByName(name)
 		res, err := Run(golden, Config{Metric: core.MetricER, Threshold: 0.05,
-			NumPatterns: 2000, Seed: 13, Estimator: EstimatorBatch, Library: lib})
+			NumPatterns: 2000, Seed: 13, Estimator: EstimatorBatch, Library: lib,
+			CheckInvariants: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +290,7 @@ func TestCustomPatterns(t *testing.T) {
 		}
 	}
 	res, err := Run(golden, Config{Metric: core.MetricER, Threshold: 0,
-		Patterns: p, Estimator: EstimatorBatch})
+		Patterns: p, Estimator: EstimatorBatch, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,21 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
+	"batchals/internal/obs"
+)
+
+// Always-on substrate counters on the default metrics registry. Each is
+// resolved once here, so the per-call cost is a handful of atomic adds —
+// nothing allocates and nothing branches on configuration.
+var (
+	statSimulations = obs.Default().Counter("sim_simulations_total")
+	statSimNS       = obs.Default().Counter("sim_wall_ns_total")
+	statGateEvals   = obs.Default().Counter("sim_gate_evals_total")
+	statConeResims  = obs.Default().Counter("sim_cone_resims_total")
 )
 
 // Values holds the simulated M-bit value vector of every node of a network
@@ -39,17 +51,20 @@ func Simulate(n *circuit.Network, p *Patterns) *Values {
 		panic(fmt.Sprintf("sim: pattern set has %d inputs, network has %d",
 			p.NumInputs(), n.NumInputs()))
 	}
+	start := time.Now()
 	v := &Values{M: p.NumPatterns(), vecs: make([]*bitvec.Vec, n.NumSlots())}
 	for k, in := range n.Inputs() {
 		v.vecs[in] = p.InputRow(k).Clone()
 	}
 	words := bitvec.Words(p.NumPatterns())
+	gates := 0
 	var operands [][]uint64
 	for _, id := range n.TopoOrder() {
 		kind := n.Kind(id)
 		if kind == circuit.KindInput {
 			continue
 		}
+		gates++
 		out := bitvec.New(p.NumPatterns())
 		fanins := n.Fanins(id)
 		operands = operands[:0]
@@ -67,6 +82,9 @@ func Simulate(n *circuit.Network, p *Patterns) *Values {
 		out.MaskTail()
 		v.vecs[id] = out
 	}
+	statSimulations.Inc()
+	statGateEvals.Add(int64(gates))
+	statSimNS.Add(int64(time.Since(start)))
 	return v
 }
 
@@ -141,6 +159,8 @@ func ResimulateCone(n *circuit.Network, v *Values, root circuit.NodeID) []circui
 		v.vecs[id].MaskTail()
 		updated = append(updated, id)
 	}
+	statConeResims.Inc()
+	statGateEvals.Add(int64(len(updated)))
 	return updated
 }
 
