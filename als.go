@@ -92,6 +92,12 @@ type Options struct {
 	NumPatterns int
 	// Seed makes the whole flow reproducible.
 	Seed int64
+	// Workers sizes the pattern-sharded worker pool running simulation,
+	// CPM construction and batch scoring concurrently. 0 (the default)
+	// uses all CPUs; 1 forces the sequential path. Results are
+	// bit-identical at any worker count, so this is purely a throughput
+	// knob.
+	Workers int
 	// KeepTrace records per-iteration details in Result.Iterations.
 	KeepTrace bool
 	// MaxIterations caps accepted transformations (0 = unlimited).
@@ -147,6 +153,7 @@ func Approximate(golden *Network, opts Options) (*Result, error) {
 		Estimator:       opts.Estimator,
 		NumPatterns:     opts.NumPatterns,
 		Seed:            opts.Seed,
+		Workers:         opts.Workers,
 		KeepTrace:       opts.KeepTrace,
 		MaxIterations:   opts.MaxIterations,
 		VerifyTopK:      opts.VerifyTopK,

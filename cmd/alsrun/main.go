@@ -46,6 +46,7 @@ func main() {
 		verifyTopK  = flag.Int("verify", 0, "re-check the K best candidates per iteration exactly (0 = off)")
 		patterns    = flag.Int("m", 10000, "Monte Carlo pattern count")
 		seed        = flag.Int64("seed", 0, "random seed")
+		workers     = flag.Int("workers", 0, "worker pool size for the sasimi flow (0 = all CPUs, 1 = sequential; results are bit-identical at any count)")
 		outFile     = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
 		iters       = flag.Bool("iters", false, "print every accepted substitution")
 		checkInv    = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
@@ -77,6 +78,7 @@ func main() {
 		Threshold:       *threshold,
 		NumPatterns:     *patterns,
 		Seed:            *seed,
+		Workers:         *workers,
 		KeepTrace:       *iters,
 		VerifyTopK:      *verifyTopK,
 		CheckInvariants: *checkInv,

@@ -36,6 +36,29 @@ func Words(n int) int {
 	return (n + WordBits - 1) / WordBits
 }
 
+// TailMask returns the mask of valid bits in the final word of an n-bit
+// vector: all ones when n is a multiple of WordBits, otherwise the low
+// n%WordBits bits. Shard-parallel code uses it to keep tail bits zero when
+// writing the last word through a raw WordsSlice.
+func TailMask(n int) uint64 {
+	if r := n % WordBits; r != 0 {
+		return (uint64(1) << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
+
+// AnyWords reports whether any bit is set in words [w0, w1) of the vector.
+// It is the shard-local variant of Any used by the parallel CPM builder,
+// whose workers must never read words owned by other shards.
+func (v *Vec) AnyWords(w0, w1 int) bool {
+	for _, w := range v.words[w0:w1] {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // FromWords builds a vector of n bits backed by a copy of the given words.
 // Tail bits beyond n are cleared.
 func FromWords(n int, words []uint64) *Vec {

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"batchals/internal/analyze"
@@ -55,8 +56,11 @@ type CPM struct {
 	// nil rows correspond to dead node slots.
 	p [][]*bitvec.Vec
 
-	// anyProp[node] caches the OR over outputs of p[node][...].
-	anyProp []*bitvec.Vec
+	// anyProp[node] caches the OR over outputs of p[node][...]. Stored
+	// through atomic pointers so concurrent queries may fault the cache in
+	// lazily: the computed vector is a pure function of the (immutable)
+	// p rows, so racing fills store interchangeable values.
+	anyProp []atomic.Pointer[bitvec.Vec]
 
 	// Per-pattern golden/approximate output words, cached for the error
 	// state currently being estimated against (see aemColumns).
@@ -68,8 +72,10 @@ type CPM struct {
 	// a subset, so the whole-circuit error queries are unavailable.
 	restricted bool
 
-	// cert caches the lazily-built exactness certificate (see Certificate).
-	cert *analyze.Certificate
+	// cert caches the lazily-built exactness certificate (see Certificate);
+	// atomic for the same reason as anyProp: the certificate depends only
+	// on the immutable network structure.
+	cert atomic.Pointer[analyze.Certificate]
 
 	buildTime time.Duration
 }
@@ -87,7 +93,7 @@ func Build(n *circuit.Network, vals *sim.Values) *CPM {
 		m:       m,
 		o:       numOut,
 		p:       make([][]*bitvec.Vec, n.NumSlots()),
-		anyProp: make([]*bitvec.Vec, n.NumSlots()),
+		anyProp: make([]atomic.Pointer[bitvec.Vec], n.NumSlots()),
 	}
 	order := n.TopoOrder()
 
@@ -208,16 +214,19 @@ func (c *CPM) Prop(id circuit.NodeID, o int) *bitvec.Vec {
 }
 
 // AnyProp returns the OR over outputs of Prop(id, ·): the patterns under
-// which a flip at id is observable at some primary output. Cached.
+// which a flip at id is observable at some primary output. Cached; safe to
+// call from concurrent query workers once the CPM is built (racing fills
+// compute the same bits and the last store wins). Callers must not rely on
+// pointer identity across calls.
 func (c *CPM) AnyProp(id circuit.NodeID) *bitvec.Vec {
-	if v := c.anyProp[id]; v != nil {
+	if v := c.anyProp[id].Load(); v != nil {
 		return v
 	}
 	v := bitvec.New(c.m)
 	for _, pv := range c.p[id] {
 		v.Or(v, pv)
 	}
-	c.anyProp[id] = v
+	c.anyProp[id].Store(v)
 	return v
 }
 
@@ -409,7 +418,7 @@ func BuildForOutputs(n *circuit.Network, vals *sim.Values, outputs []int) *CPM {
 		m:          m,
 		o:          len(outputs),
 		p:          make([][]*bitvec.Vec, n.NumSlots()),
-		anyProp:    make([]*bitvec.Vec, n.NumSlots()),
+		anyProp:    make([]atomic.Pointer[bitvec.Vec], n.NumSlots()),
 		restricted: true,
 	}
 	order := n.TopoOrder()

@@ -15,11 +15,17 @@ import (
 // transformation injected at that node — provably exact on the pattern
 // set rather than the paper's reconvergence-limited estimate. See
 // analyze.Certificate for the structural argument.
+//
+// Safe under concurrent first use: the certificate is a pure function of
+// the immutable network, so racing fills store interchangeable values
+// through the atomic pointer.
 func (c *CPM) Certificate() *analyze.Certificate {
-	if c.cert == nil {
-		c.cert = analyze.ExactnessCertificate(c.net)
+	if v := c.cert.Load(); v != nil {
+		return v
 	}
-	return c.cert
+	v := analyze.ExactnessCertificate(c.net)
+	c.cert.Store(v)
+	return v
 }
 
 // ExactFor reports whether the batch estimate for a change injected at

@@ -1,0 +1,20 @@
+package obs
+
+import "strconv"
+
+// PerWorkerCounters pre-resolves one labelled counter per worker index,
+// e.g. name{worker="0"} … name{worker="n-1"}, so a worker pool can tick
+// its shard counters with a single atomic add per event instead of a
+// registry lookup. Looking the same series up twice returns the same
+// counters (the registry is get-or-create), so pools sharing a registry
+// accumulate into one cumulative per-worker series.
+func PerWorkerCounters(reg *Registry, name string, n int) []*Counter {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]*Counter, n)
+	for i := range out {
+		out[i] = reg.Counter(name + `{worker="` + strconv.Itoa(i) + `"}`)
+	}
+	return out
+}

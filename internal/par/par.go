@@ -1,0 +1,196 @@
+// Package par provides the pattern-sharded parallel execution engine of
+// the batch estimator: a reusable worker pool plus a word-aligned sharding
+// of the M-pattern Monte Carlo axis.
+//
+// The design contract, relied on by internal/sim, internal/core and
+// internal/sasimi, is *bit-identical determinism*: a computation sharded
+// across any number of workers must produce exactly the result of the
+// sequential code path. The pool guarantees the scheduling half of that
+// contract — every task writes only to slots owned by its task index, and
+// Do establishes a happens-before edge between all task bodies and its
+// return — while Shards guarantees the data half: shards are contiguous,
+// word-aligned, non-overlapping ranges of the pattern space, so concurrent
+// writers touch disjoint uint64 words and per-shard partial results can be
+// combined in fixed shard order. See DESIGN.md §10 for the full
+// determinism argument.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// Always-on substrate counters on the default metrics registry, matching
+// the pre-resolved-atomics idiom of internal/sim and internal/core.
+var (
+	statPoolRuns  = obs.Default().Counter("par_pool_runs_total")
+	statPoolTasks = obs.Default().Counter("par_pool_tasks_total")
+)
+
+// maxWorkerCounters bounds the per-worker labelled counter series so a
+// pathological Workers value cannot flood the registry with label
+// cardinality.
+const maxWorkerCounters = 64
+
+// Pool is a reusable fixed-size worker pool. Workers are started once at
+// construction and fed task batches through Do; a pool with one worker
+// (or a nil pool) degenerates to inline sequential execution, which is the
+// legacy single-core path.
+//
+// A Pool is driven from one goroutine at a time: Do blocks until the
+// whole batch completes, and concurrent Do calls are not supported.
+type Pool struct {
+	workers int
+	tasks   chan task
+	wg      sync.WaitGroup // worker goroutines, for Close
+
+	// busyNS and wallNS feed the parallel_speedup gauge: busy is the sum
+	// of task execution times across workers, wall the sum of Do call
+	// durations. busy/wall is the realised speedup of the pooled sections.
+	busyNS atomic.Int64
+	wallNS atomic.Int64
+
+	// Per-worker shard counters, pre-resolved on the default registry at
+	// construction so each task completion costs two atomic adds.
+	workerTasks []*obs.Counter
+	workerBusy  []*obs.Counter
+}
+
+type task struct {
+	fn   func(worker, task int)
+	idx  int
+	done *sync.WaitGroup
+}
+
+// NewPool returns a pool with the given number of workers. workers <= 0
+// selects runtime.NumCPU(). A one-worker pool starts no goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	nc := workers
+	if nc > maxWorkerCounters {
+		nc = maxWorkerCounters
+	}
+	p.workerTasks = obs.PerWorkerCounters(obs.Default(), "par_worker_tasks_total", nc)
+	p.workerBusy = obs.PerWorkerCounters(obs.Default(), "par_worker_busy_ns_total", nc)
+	if workers == 1 {
+		return p
+	}
+	p.tasks = make(chan task, workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		start := time.Now()
+		t.fn(w, t.idx)
+		p.finishTask(w, time.Since(start))
+		t.done.Done()
+	}
+}
+
+func (p *Pool) finishTask(w int, d time.Duration) {
+	p.busyNS.Add(int64(d))
+	statPoolTasks.Inc()
+	if w < len(p.workerTasks) {
+		p.workerTasks[w].Inc()
+		p.workerBusy[w].Add(int64(d))
+	}
+}
+
+// Workers returns the pool's worker count; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Do runs fn(worker, i) for every i in [0, n) and returns when all calls
+// have completed. Task bodies run concurrently across the pool's workers;
+// all their writes happen-before Do returns. Each task must confine its
+// writes to state owned by its task index — the pool makes no ordering
+// promises between tasks of one batch.
+//
+// On a nil or single-worker pool, Do runs the tasks inline in index
+// order on the calling goroutine.
+func (p *Pool) Do(n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers == 1 || n == 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			ts := time.Now()
+			fn(0, i)
+			if p != nil {
+				p.finishTask(0, time.Since(ts))
+			}
+		}
+		if p != nil {
+			p.wallNS.Add(int64(time.Since(start)))
+			statPoolRuns.Inc()
+		}
+		return
+	}
+	start := time.Now()
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		p.tasks <- task{fn: fn, idx: i, done: &done}
+	}
+	done.Wait()
+	p.wallNS.Add(int64(time.Since(start)))
+	statPoolRuns.Inc()
+}
+
+// BusyNS returns the accumulated task execution time across all workers.
+func (p *Pool) BusyNS() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.busyNS.Load()
+}
+
+// Speedup returns the realised parallel speedup of the pooled sections:
+// total task execution time divided by total Do wall time. It is 1.0 for
+// a sequential pool and approaches Workers() under perfect scaling.
+func (p *Pool) Speedup() float64 {
+	if p == nil {
+		return 1
+	}
+	wall := p.wallNS.Load()
+	if wall <= 0 {
+		return 1
+	}
+	return float64(p.busyNS.Load()) / float64(wall)
+}
+
+// Close shuts the worker goroutines down. The pool must be idle (no Do in
+// flight). Close is idempotent on a single-worker pool (which has no
+// goroutines); a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+	p.tasks = nil
+}
+
+// String describes the pool for diagnostics.
+func (p *Pool) String() string {
+	return fmt.Sprintf("par.Pool{workers=%d}", p.Workers())
+}

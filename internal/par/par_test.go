@@ -1,0 +1,180 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/obs"
+)
+
+func TestShardsCoverEveryPatternExactlyOnce(t *testing.T) {
+	for _, m := range []int{1, 63, 64, 65, 128, 1000, 4096, 10000} {
+		for _, n := range []int{1, 2, 3, 4, 7, 16, 1000} {
+			shards := Shards(m, n)
+			if len(shards) == 0 {
+				t.Fatalf("m=%d n=%d: no shards", m, n)
+			}
+			if len(shards) > n || len(shards) > bitvec.Words(m) {
+				t.Fatalf("m=%d n=%d: %d shards exceeds bounds", m, n, len(shards))
+			}
+			pat, word := 0, 0
+			for i, s := range shards {
+				if s.Index != i {
+					t.Fatalf("m=%d n=%d: shard %d has Index %d", m, n, i, s.Index)
+				}
+				if s.Lo != pat || s.W0 != word {
+					t.Fatalf("m=%d n=%d: shard %d not contiguous: %+v (want Lo=%d W0=%d)",
+						m, n, i, s, pat, word)
+				}
+				if s.Hi <= s.Lo || s.W1 <= s.W0 {
+					t.Fatalf("m=%d n=%d: empty shard %+v", m, n, s)
+				}
+				if s.Lo%bitvec.WordBits != 0 {
+					t.Fatalf("m=%d n=%d: shard %d not word-aligned: %+v", m, n, i, s)
+				}
+				pat, word = s.Hi, s.W1
+			}
+			if pat != m || word != bitvec.Words(m) {
+				t.Fatalf("m=%d n=%d: shards cover %d patterns / %d words, want %d / %d",
+					m, n, pat, word, m, bitvec.Words(m))
+			}
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(10000, 7)
+	b := Shards(10000, 7)
+	if len(a) != len(b) {
+		t.Fatal("shard count varies between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		const n = 100
+		var counts [n]atomic.Int32
+		p.Do(n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolReusableAcrossBatches(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 10; round++ {
+		p.Do(17, func(_, i int) { total.Add(int64(i)) })
+	}
+	if got := total.Load(); got != 10*17*16/2 {
+		t.Fatalf("total %d, want %d", got, 10*17*16/2)
+	}
+}
+
+func TestNilAndSingleWorkerPoolRunInline(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatal("nil pool must report one worker")
+	}
+	order := []int{}
+	nilPool.Do(5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("nil pool used worker %d", w)
+		}
+		order = append(order, i) // safe: inline execution, no goroutines
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline execution out of order: %v", order)
+		}
+	}
+	nilPool.Close() // no-op
+
+	p := NewPool(1)
+	seen := 0
+	p.Do(3, func(_, i int) { seen++ })
+	if seen != 3 {
+		t.Fatalf("single-worker pool ran %d/3 tasks", seen)
+	}
+	p.Close()
+	if p.Speedup() != 1.0 && p.Speedup() <= 0 {
+		t.Fatalf("bad sequential speedup %v", p.Speedup())
+	}
+}
+
+func TestPoolHappensBefore(t *testing.T) {
+	// Writes from task bodies must be visible after Do returns, without
+	// any synchronisation in the task itself (plain slice writes).
+	p := NewPool(4)
+	defer p.Close()
+	buf := make([]int, 1000)
+	p.Do(len(buf), func(_, i int) { buf[i] = i * i })
+	for i, v := range buf {
+		if v != i*i {
+			t.Fatalf("lost write at %d: %d", i, v)
+		}
+	}
+}
+
+func TestPerWorkerCountersTick(t *testing.T) {
+	reg := obs.NewRegistry()
+	cs := obs.PerWorkerCounters(reg, "x_tasks_total", 3)
+	if len(cs) != 3 {
+		t.Fatalf("got %d counters", len(cs))
+	}
+	cs[1].Add(5)
+	snap := reg.Snapshot()
+	if snap.Counters[`x_tasks_total{worker="1"}`] != 5 {
+		t.Fatalf("labelled counter not ticked: %v", snap.Counters)
+	}
+	// Re-resolving yields the same counters.
+	again := obs.PerWorkerCounters(reg, "x_tasks_total", 3)
+	if again[1] != cs[1] {
+		t.Fatal("PerWorkerCounters not get-or-create")
+	}
+}
+
+func TestPoolTracksBusyAndSpeedup(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Do(8, func(_, i int) {
+		s := 0
+		for j := 0; j < 100000; j++ {
+			s += j
+		}
+		_ = s
+	})
+	if p.BusyNS() <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	if p.Speedup() <= 0 {
+		t.Fatalf("speedup %v not positive", p.Speedup())
+	}
+}
+
+// TestRacePoolHammer drives many concurrent batches' worth of counter
+// ticks through one pool under the race detector (CI runs this file with
+// -race and GOMAXPROCS=2).
+func TestRacePoolHammer(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var sum atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.Do(64, func(_, i int) { sum.Add(1) })
+	}
+	if got := sum.Load(); got != 50*64 {
+		t.Fatalf("ran %d tasks, want %d", got, 50*64)
+	}
+}

@@ -1,0 +1,53 @@
+package par
+
+import "batchals/internal/bitvec"
+
+// Shard is one contiguous, word-aligned slice of the M-pattern space:
+// patterns [Lo, Hi) stored in value-vector words [W0, W1). Shards never
+// split a 64-pattern word, so concurrent workers writing different shards
+// of the same bit vector touch disjoint uint64 words — no atomics, no
+// false sharing on the bit level, and no read-modify-write hazards.
+type Shard struct {
+	Index  int // position in the fixed combine order
+	Lo, Hi int // pattern index range [Lo, Hi)
+	W0, W1 int // word index range [W0, W1)
+}
+
+// Patterns returns the number of patterns the shard covers.
+func (s Shard) Patterns() int { return s.Hi - s.Lo }
+
+// Shards splits m patterns into at most n word-aligned shards. Every word
+// belongs to exactly one shard, shards are contiguous and ordered by
+// pattern index, and the split is a pure function of (m, n) — the same
+// inputs always produce the same partition. Fewer than n shards are
+// returned when m spans fewer than n words. m must be positive.
+func Shards(m, n int) []Shard {
+	if m <= 0 {
+		panic("par: Shards needs a positive pattern count")
+	}
+	if n < 1 {
+		n = 1
+	}
+	words := bitvec.Words(m)
+	if n > words {
+		n = words
+	}
+	base := words / n
+	rem := words % n
+	shards := make([]Shard, n)
+	w := 0
+	for i := range shards {
+		span := base
+		if i < rem {
+			span++
+		}
+		lo := w * bitvec.WordBits
+		w += span
+		hi := w * bitvec.WordBits
+		if hi > m {
+			hi = m
+		}
+		shards[i] = Shard{Index: i, Lo: lo, Hi: hi, W0: w - span, W1: w}
+	}
+	return shards
+}

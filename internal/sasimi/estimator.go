@@ -26,6 +26,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/par"
 	"batchals/internal/sim"
 )
 
@@ -59,6 +60,7 @@ type iterContext struct {
 	st     *emetric.State
 	metric core.Metric
 	cpm    *core.CPM // non-nil for EstimatorBatch
+	pool   *par.Pool // nil or single-worker selects the sequential paths
 }
 
 // estimator evaluates the increased error of one candidate substitution.
@@ -76,7 +78,7 @@ type estimator interface {
 type batchEstimator struct{ ctx *iterContext }
 
 func (e *batchEstimator) prepare(ctx *iterContext) {
-	ctx.cpm = core.Build(ctx.net, ctx.vals)
+	ctx.cpm = core.BuildParallel(ctx.net, ctx.vals, ctx.pool)
 	e.ctx = ctx
 }
 

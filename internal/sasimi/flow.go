@@ -3,6 +3,7 @@ package sasimi
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"batchals/internal/core"
 	"batchals/internal/emetric"
 	"batchals/internal/obs"
+	"batchals/internal/par"
 	"batchals/internal/sim"
 )
 
@@ -32,6 +34,13 @@ type Config struct {
 	// Seed drives the pattern generator; the same seed reproduces the
 	// whole flow bit-for-bit.
 	Seed int64
+	// Workers sets the size of the pattern-sharded worker pool that runs
+	// simulation, CPM construction, candidate gathering and batch scoring
+	// concurrently. 0 (the default) selects runtime.NumCPU(); 1 forces the
+	// legacy sequential path. Results are bit-identical at any worker
+	// count — see DESIGN.md §10 for the determinism argument — so Workers
+	// is purely a throughput knob.
+	Workers int
 	// Patterns, when non-nil, overrides NumPatterns/Seed with a
 	// caller-provided (possibly non-uniform) pattern set.
 	Patterns *sim.Patterns
@@ -76,6 +85,9 @@ type Config struct {
 func (cfg *Config) fillDefaults() {
 	if cfg.NumPatterns == 0 {
 		cfg.NumPatterns = 10000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
 	}
 	if cfg.SimilarityCap == 0 {
 		cfg.SimilarityCap = 0.3
@@ -309,6 +321,9 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	observed := cfg.Tracer != nil || cfg.Metrics != nil
 	prof := &obs.Profile{Tracer: cfg.Tracer, TrackMem: observed}
 
+	pool := par.NewPool(cfg.Workers)
+	defer pool.Close()
+
 	sp := prof.Begin(obs.PhasePatternGen)
 	patterns := cfg.Patterns
 	if patterns == nil {
@@ -317,7 +332,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	prof.End(sp)
 
 	sp = prof.Begin(obs.PhaseSimulate)
-	goldenVals := sim.Simulate(golden, patterns)
+	goldenVals := sim.SimulateParallel(golden, patterns, pool)
 	goldenOut := sim.OutputMatrix(golden, goldenVals)
 	prof.End(sp)
 
@@ -343,13 +358,13 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		prof.Iter = iter
 
 		sp = prof.Begin(obs.PhaseSimulate)
-		vals := sim.Simulate(approx, patterns)
+		vals := sim.SimulateParallel(approx, patterns, pool)
 		st := emetric.NewState(goldenOut, sim.OutputMatrix(approx, vals))
 		prof.End(sp)
 		curErr := cfg.Metric.Value(st)
 		res.FinalError = curErr
 
-		ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric}
+		ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric, pool: pool}
 		sp = prof.Begin(obs.PhaseCPMBuild)
 		est.prepare(ctx)
 		prof.End(sp)
@@ -362,7 +377,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		sp = prof.Begin(obs.PhaseEstimate)
 		arrival := cfg.Library.NodeArrival(approx)
 		invDelay := cfg.Library.GateDelay(circuit.KindNot)
-		cands := gatherCandidates(approx, vals, &cfg, arrival, invDelay)
+		cands := gatherCandidatesParallel(approx, vals, &cfg, arrival, invDelay, pool)
 		if len(cands) == 0 {
 			prof.End(sp)
 			o.iteration(iter, curErr, 0, 0, false, time.Since(iterStart))
@@ -372,8 +387,8 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		// Estimate the increased error of every candidate (the batch step)
 		// and pick the best feasible one by ΔArea/ΔError score.
 		estStart := time.Now()
-		best, feasible := scoreCandidates(est, cands, vals, curErr, cfg.Threshold,
-			scratch, change, o, iter)
+		best, feasible := scoreCandidatesMaybeSharded(ctx, est, cands, curErr, cfg.Threshold,
+			scratch, change, pool, o, iter)
 		prof.End(sp)
 
 		sp = prof.Begin(obs.PhaseVerifyApply)
@@ -399,7 +414,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 			}
 		}
 
-		newVals := sim.Simulate(approx, patterns)
+		newVals := sim.SimulateParallel(approx, patterns, pool)
 		newSt := emetric.NewState(goldenOut, sim.OutputMatrix(approx, newVals))
 		actual := cfg.Metric.Value(newSt)
 		predicted := curErr + chosen.Delta
@@ -446,6 +461,9 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	res.TotalTime = time.Since(start)
 	res.Phases = prof.Report()
 	prof.Export(cfg.Metrics, "sasimi")
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("sasimi_parallel_speedup").Set(pool.Speedup())
+	}
 	if err := approx.Validate(); err != nil {
 		return nil, fmt.Errorf("sasimi: flow corrupted the network: %w", err)
 	}
@@ -596,23 +614,25 @@ func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, erro
 	if err := approx.Validate(); err != nil {
 		return nil, err
 	}
+	pool := par.NewPool(cfg.Workers)
+	defer pool.Close()
 	patterns := cfg.Patterns
 	if patterns == nil {
 		patterns = sim.RandomPatterns(golden.NumInputs(), cfg.NumPatterns, cfg.Seed)
 	}
-	goldenVals := sim.Simulate(golden, patterns)
-	vals := sim.Simulate(approx, patterns)
+	goldenVals := sim.SimulateParallel(golden, patterns, pool)
+	vals := sim.SimulateParallel(approx, patterns, pool)
 	st := emetric.NewState(sim.OutputMatrix(golden, goldenVals), sim.OutputMatrix(approx, vals))
 
 	est := newEstimator(cfg.Estimator)
-	ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric}
+	ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric, pool: pool}
 	est.prepare(ctx)
 
 	arrival := cfg.Library.NodeArrival(approx)
-	cands := gatherCandidates(approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot))
+	cands := gatherCandidatesParallel(approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot), pool)
 	scratch := bitvec.New(patterns.NumPatterns())
 	change := bitvec.New(patterns.NumPatterns())
 	o := newRunObs(&cfg, approx)
-	scoreCandidates(est, cands, vals, 0, cfg.Threshold, scratch, change, o, 1)
+	scoreCandidatesMaybeSharded(ctx, est, cands, 0, cfg.Threshold, scratch, change, pool, o, 1)
 	return cands, nil
 }

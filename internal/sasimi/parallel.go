@@ -1,0 +1,296 @@
+package sasimi
+
+import (
+	"math/bits"
+	"sort"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/core"
+	"batchals/internal/par"
+	"batchals/internal/sim"
+)
+
+// gatherCandidatesParallel is gatherCandidates with the per-target
+// enumeration fanned out across the pool's workers. Each target's
+// candidates are collected into a per-target bucket (the task index owns
+// the bucket slot); concatenating the buckets in target order reproduces
+// the sequential enumeration order exactly, so the final deterministic
+// sort — a total order on (DiffProb, AreaGain, Target, Sub) applied to an
+// identical input permutation — yields the identical candidate list at any
+// worker count. The network traversals used per target (MFFC,
+// MFFCExcluding, TransitiveFanoutCone) are read-only and allocate locally,
+// so workers share the network safely.
+func gatherCandidatesParallel(net *circuit.Network, vals *sim.Values, cfg *Config,
+	arrival []float64, invDelay float64, pool *par.Pool) []Candidate {
+
+	if pool.Workers() <= 1 {
+		return gatherCandidates(net, vals, cfg, arrival, invDelay)
+	}
+	m := vals.M
+	targets := make([]circuit.NodeID, 0, net.NumNodes())
+	subs := make([]circuit.NodeID, 0, net.NumNodes())
+	for _, id := range net.LiveNodes() {
+		k := net.Kind(id)
+		if k.IsGate() {
+			targets = append(targets, id)
+			subs = append(subs, id)
+		} else if k == circuit.KindInput {
+			subs = append(subs, id)
+		}
+	}
+	invArea := cfg.Library.GateArea(circuit.KindNot, 1)
+
+	prefixWords := bitvec.Words(m)
+	if prefixWords > 4 {
+		prefixWords = 4
+	}
+	prefixBits := prefixWords * bitvec.WordBits
+	if prefixBits > m {
+		prefixBits = m
+	}
+	prefixCap := cfg.SimilarityCap*2 + 0.1
+
+	buckets := make([][]Candidate, len(targets))
+	pool.Do(len(targets), func(_, ti int) {
+		t := targets[ti]
+		baseGain := 0.0
+		mffc := make(map[circuit.NodeID]bool)
+		for _, id := range net.MFFC(t) {
+			baseGain += cfg.Library.GateArea(net.Kind(id), len(net.Fanins(id)))
+			mffc[id] = true
+		}
+		if baseGain <= 0 {
+			return
+		}
+		pairGain := func(s circuit.NodeID) float64 {
+			if !mffc[s] {
+				return baseGain
+			}
+			g := 0.0
+			for _, id := range net.MFFCExcluding(t, s) {
+				g += cfg.Library.GateArea(net.Kind(id), len(net.Fanins(id)))
+			}
+			return g
+		}
+
+		tv := vals.Node(t)
+		tfo := net.TransitiveFanoutCone(t)
+		tArr := arrival[t]
+		var out []Candidate
+
+		ones := tv.Count()
+		p1 := float64(ones) / float64(m)
+		if p0 := 1 - p1; p0 <= cfg.SimilarityCap {
+			out = append(out, Candidate{Target: t, Sub: circuit.InvalidNode,
+				Const: true, ConstVal: true, DiffProb: p0, AreaGain: baseGain})
+		}
+		if p1 <= cfg.SimilarityCap {
+			out = append(out, Candidate{Target: t, Sub: circuit.InvalidNode,
+				Const: true, ConstVal: false, DiffProb: p1, AreaGain: baseGain})
+		}
+
+		diff := bitvec.New(m)
+		for _, s := range subs {
+			if s == t || tfo[s] {
+				continue
+			}
+			sv := vals.Node(s)
+			if prefixWords > 0 {
+				d := 0
+				tw, sw := tv.WordsSlice(), sv.WordsSlice()
+				for w := 0; w < prefixWords; w++ {
+					d += bits.OnesCount64(tw[w] ^ sw[w])
+				}
+				frac := float64(d) / float64(prefixBits)
+				if frac > prefixCap && (1-frac) > prefixCap {
+					continue
+				}
+			}
+			diff.Xor(tv, sv)
+			dp := float64(diff.Count()) / float64(m)
+
+			if dp <= cfg.SimilarityCap && arrival[s] <= tArr {
+				if g := pairGain(s); g > 0 {
+					out = append(out, Candidate{Target: t, Sub: s,
+						DiffProb: dp, AreaGain: g})
+				}
+			}
+			if idp := 1 - dp; idp <= cfg.SimilarityCap && arrival[s]+invDelay <= tArr {
+				if g := pairGain(s) - invArea; g > 0 {
+					out = append(out, Candidate{Target: t, Sub: s,
+						Inverted: true, DiffProb: idp, AreaGain: g})
+				}
+			}
+		}
+		buckets[ti] = out
+	})
+
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	cands := make([]Candidate, 0, total)
+	for _, b := range buckets {
+		cands = append(cands, b...)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := &cands[i], &cands[j]
+		if a.DiffProb != b.DiffProb {
+			return a.DiffProb < b.DiffProb
+		}
+		if a.AreaGain != b.AreaGain {
+			return a.AreaGain > b.AreaGain
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Sub < b.Sub
+	})
+	if cfg.MaxCandidates > 0 && len(cands) > cfg.MaxCandidates {
+		cands = cands[:cfg.MaxCandidates]
+	}
+	return cands
+}
+
+// scoreCandidatesMaybeSharded dispatches candidate scoring: the batch
+// estimator on a multi-worker pool takes the pattern-sharded path, every
+// other combination (full estimator mutates the value table during cone
+// resimulation; local estimator is a trivial popcount; single worker is
+// the legacy path whose allocation profile is pinned by
+// TestNilTracerScoringAllocs) runs the sequential loop.
+func scoreCandidatesMaybeSharded(ctx *iterContext, est estimator, cands []Candidate,
+	curErr, threshold float64, scratch, change *bitvec.Vec, pool *par.Pool,
+	o *runObs, iter int) (int, []int) {
+
+	if _, ok := est.(*batchEstimator); ok && pool.Workers() > 1 && len(cands) > 0 {
+		return scoreCandidatesSharded(ctx, cands, curErr, threshold, pool, o, iter)
+	}
+	return scoreCandidates(est, cands, ctx.vals, curErr, threshold, scratch, change, o, iter)
+}
+
+// scoreCandidatesSharded evaluates every candidate's batch estimate with
+// the pattern space sharded across the pool's workers, then runs the
+// selection loop sequentially in candidate order so feasibility and
+// tie-breaking match scoreCandidates decision for decision.
+//
+// Each worker owns one shard: for every candidate it materialises the
+// change mask for its word range only (target XOR substitute, with the
+// constant and inverted cases tail-masked exactly as substituteValue's
+// Fill/Not produce them) and computes the shard's partial — exact integer
+// inc/dec counts for ER, the unnormalised magnitude sum for AEM. Partials
+// land in per-shard slots owned by the task index and are combined in
+// fixed shard order, which reproduces the sequential DeltaER/DeltaAEM
+// values bit for bit (see core.DeltaERPartial / core.DeltaAEMPartial for
+// the word-locality argument).
+func scoreCandidatesSharded(ctx *iterContext, cands []Candidate,
+	curErr, threshold float64, pool *par.Pool, o *runObs, iter int) (int, []int) {
+
+	cpm, st, vals := ctx.cpm, ctx.st, ctx.vals
+	m := vals.M
+	words := bitvec.Words(m)
+	shards := par.Shards(m, pool.Workers())
+	aem := ctx.metric == core.MetricAEM
+
+	// Warm the CPM's shared lazy caches from this goroutine before the
+	// fan-out: AnyProp fills are atomic (racing fills would merely waste
+	// work), the AEM column memo is plain and must be sequenced here.
+	targets := make([]circuit.NodeID, 0, len(cands))
+	seen := make(map[circuit.NodeID]bool, len(cands))
+	for i := range cands {
+		if !seen[cands[i].Target] {
+			seen[cands[i].Target] = true
+			targets = append(targets, cands[i].Target)
+		}
+	}
+	if aem {
+		cpm.EnsureAEMColumns(st)
+	} else {
+		cpm.EnsureAnyProp(targets)
+	}
+
+	erInc := make([][]int64, len(shards))
+	erDec := make([][]int64, len(shards))
+	aemMag := make([][]float64, len(shards))
+	for si := range shards {
+		if aem {
+			aemMag[si] = make([]float64, len(cands))
+		} else {
+			erInc[si] = make([]int64, len(cands))
+			erDec[si] = make([]int64, len(cands))
+		}
+	}
+
+	last := words - 1
+	tail := bitvec.TailMask(m)
+	pool.Do(len(shards), func(_, si int) {
+		sh := shards[si]
+		chg := make([]uint64, words)
+		for ci := range cands {
+			c := &cands[ci]
+			tw := vals.Node(c.Target).WordsSlice()
+			var sw []uint64
+			if !c.Const {
+				sw = vals.Node(c.Sub).WordsSlice()
+			}
+			for w := sh.W0; w < sh.W1; w++ {
+				var sub uint64
+				switch {
+				case c.Const:
+					if c.ConstVal {
+						sub = ^uint64(0)
+						if w == last {
+							sub = tail
+						}
+					}
+				case c.Inverted:
+					sub = ^sw[w]
+					if w == last {
+						sub &= tail
+					}
+				default:
+					sub = sw[w]
+				}
+				chg[w] = tw[w] ^ sub
+			}
+			if aem {
+				aemMag[si][ci] = cpm.DeltaAEMPartial(c.Target, chg, st, sh.W0, sh.W1)
+			} else {
+				inc, dec := cpm.DeltaERPartial(c.Target, chg, st, sh.W0, sh.W1)
+				erInc[si][ci] = inc
+				erDec[si][ci] = dec
+			}
+		}
+	})
+
+	best := -1
+	var feasible []int
+	for i := range cands {
+		c := &cands[i]
+		if aem {
+			var total float64
+			for si := range shards {
+				total += aemMag[si][i]
+			}
+			c.Delta = total / float64(m)
+		} else {
+			var inc, dec int64
+			for si := range shards {
+				inc += erInc[si][i]
+				dec += erDec[si][i]
+			}
+			c.Delta = (float64(inc) - float64(dec)) / float64(m)
+		}
+		c.Exact = cpm.ExactFor(c.Target)
+		c.Score = score(c.AreaGain, c.Delta, m)
+		o.candidateScored(iter, c)
+		if curErr+c.Delta > threshold+1e-12 {
+			continue
+		}
+		feasible = append(feasible, i)
+		if best == -1 || c.Score > cands[best].Score {
+			best = i
+		}
+	}
+	return best, feasible
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"time"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/par"
+)
+
+// SimulateParallel evaluates the whole network on the pattern set with the
+// pattern axis sharded across the pool's workers, and returns per-node
+// value vectors bit-identical to Simulate's.
+//
+// Patterns are independent, so each worker walks the full topological
+// order restricted to its word-aligned shard of every value vector: writes
+// of different workers land in disjoint uint64 words of shared vectors,
+// and each gate word is computed by exactly the same EvalWord call as in
+// the sequential path — the result does not depend on the worker count or
+// the schedule. A nil or single-worker pool falls through to Simulate,
+// the legacy path.
+func SimulateParallel(n *circuit.Network, p *Patterns, pool *par.Pool) *Values {
+	if pool.Workers() <= 1 {
+		return Simulate(n, p)
+	}
+	if p.NumInputs() != n.NumInputs() {
+		panic("sim: pattern set input count mismatch")
+	}
+	start := time.Now()
+	m := p.NumPatterns()
+	v := &Values{M: m, vecs: make([]*bitvec.Vec, n.NumSlots())}
+	for k, in := range n.Inputs() {
+		v.vecs[in] = p.InputRow(k).Clone()
+	}
+	// Resolve the topological order and allocate every gate vector before
+	// the fan-out: workers share the order slice and the vector table
+	// read-only, and write only their own word ranges.
+	order := n.TopoOrder()
+	gates := 0
+	for _, id := range order {
+		if n.Kind(id) == circuit.KindInput {
+			continue
+		}
+		gates++
+		v.vecs[id] = bitvec.New(m)
+	}
+	shards := par.Shards(m, pool.Workers())
+	pool.Do(len(shards), func(_, si int) {
+		sh := shards[si]
+		buf := make([]uint64, 8)
+		for _, id := range order {
+			kind := n.Kind(id)
+			if kind == circuit.KindInput {
+				continue
+			}
+			fanins := n.Fanins(id)
+			if cap(buf) < len(fanins) {
+				buf = make([]uint64, len(fanins))
+			}
+			b := buf[:len(fanins)]
+			ow := v.vecs[id].WordsSlice()
+			for w := sh.W0; w < sh.W1; w++ {
+				for j, f := range fanins {
+					b[j] = v.vecs[f].WordsSlice()[w]
+				}
+				ow[w] = kind.EvalWord(b)
+			}
+		}
+	})
+	// Tail bits beyond M may be set by EvalWord in the final word (input
+	// rows are masked, but e.g. a NOT of a masked word sets them); clear
+	// them once after the join, as the sequential path does per gate.
+	tail := bitvec.TailMask(m)
+	if tail != ^uint64(0) {
+		for _, id := range order {
+			if n.Kind(id) != circuit.KindInput {
+				v.vecs[id].MaskTail()
+			}
+		}
+	}
+	statSimulations.Inc()
+	statGateEvals.Add(int64(gates))
+	statSimNS.Add(int64(time.Since(start)))
+	return v
+}
