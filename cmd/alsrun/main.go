@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -31,6 +32,7 @@ import (
 
 	"batchals"
 	"batchals/internal/obs"
+	"batchals/internal/serve"
 	"batchals/internal/snap"
 	"batchals/internal/stoch"
 	"batchals/internal/wu"
@@ -54,6 +56,7 @@ func main() {
 		traceCands  = flag.Bool("trace-cands", false, "include per-candidate scoring events in the -trace stream (large)")
 		metricsFile = flag.String("metrics", "", "write a JSON metrics snapshot (counters, phase timers, drift histograms) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address during the run")
+		serveAddr   = flag.String("serve", "", "serve the full observability surface (labelled /metrics, /metrics.json, /events SSE, /flight, /healthz, pprof) on this address during the run")
 		summary     = flag.Bool("summary", false, "print an end-of-run phase/drift summary table")
 		list        = flag.Bool("list", false, "list built-in benchmark names and exit")
 	)
@@ -105,11 +108,12 @@ func main() {
 	// Observability: every sink shares the process-global registry so one
 	// snapshot covers the flow metrics and the always-on sim/CPM substrate
 	// counters.
-	observe := *traceFile != "" || *metricsFile != "" || *pprofAddr != "" || *summary
+	observe := *traceFile != "" || *metricsFile != "" || *pprofAddr != "" || *serveAddr != "" || *summary
 	var (
-		tracer  *obs.JSONLTracer
-		traceW  *os.File
-		flushed bool
+		tracer    *obs.JSONLTracer
+		traceW    *os.File
+		flushed   bool
+		servedRun *serve.Run
 	)
 	if *traceFile != "" {
 		traceW, err = os.Create(*traceFile)
@@ -122,6 +126,32 @@ func main() {
 	}
 	if observe {
 		opts.Metrics = obs.Default()
+	}
+	if *serveAddr != "" {
+		// Full observability service for the duration of the run: the run
+		// registers under the circuit name, its metrics land in a dedicated
+		// registry (scraped with run="name" labels), and live events stream
+		// to any attached SSE client. The flow's sinks fan out to both the
+		// service and any file-based tracer configured above.
+		rr := serve.NewRunRegistry()
+		srv := serve.New(rr)
+		run := rr.Get(*circuitFlag)
+		opts.Metrics = run.Registry
+		opts.Tracer = obs.Multi(opts.Tracer, run.Tracer())
+		boundAddr, shutdown, err := srv.Start(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving: http://%s/metrics (/metrics.json, /events, /flight, /debug/pprof/)\n", boundAddr)
+		run.SetState(serve.RunActive, "")
+		srv.SetReady(true)
+		defer func() {
+			run.SetState(serve.RunDone, "")
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(ctx)
+		}()
+		servedRun = run
 	}
 	if *pprofAddr != "" {
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -150,6 +180,10 @@ func main() {
 			return
 		}
 		snapshot := obs.Default().Snapshot()
+		if servedRun != nil {
+			// With -serve the flow metrics land in the run's registry.
+			snapshot = servedRun.Registry.Snapshot()
+		}
 		if *metricsFile != "" {
 			f, err := os.Create(*metricsFile)
 			if err != nil {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"batchals/internal/obs"
+)
+
+// metricsDoc mirrors the /metrics.json document of a serving process; a
+// bare registry snapshot (alsrun -metrics output) is also accepted.
+type metricsDoc struct {
+	Process *obs.Snapshot           `json:"process"`
+	Runs    map[string]obs.Snapshot `json:"runs"`
+}
+
+// metricsMode reads a metrics source (file or live URL), renders it, and
+// returns an error — never exits itself — so malformed input maps to a
+// single exit(1) in main.
+func metricsMode(file, url string) error {
+	var (
+		data []byte
+		err  error
+		src  string
+	)
+	switch {
+	case file != "" && url != "":
+		return fmt.Errorf("-metrics and -url are mutually exclusive")
+	case file != "":
+		src = file
+		data, err = os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+	default:
+		src = url
+		resp, ferr := http.Get(url)
+		if ferr != nil {
+			return ferr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		data, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+	}
+
+	var doc metricsDoc
+	if uerr := json.Unmarshal(data, &doc); uerr == nil && (doc.Process != nil || len(doc.Runs) > 0) {
+		if doc.Process != nil {
+			fmt.Printf("process metrics (%s):\n", src)
+			printSnapshot(*doc.Process)
+		}
+		names := make([]string, 0, len(doc.Runs))
+		for name := range doc.Runs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("\nrun %q:\n", name)
+			printSnapshot(doc.Runs[name])
+		}
+		return nil
+	}
+
+	// Fall back to a bare snapshot; reject anything that carries no
+	// metrics at all as malformed rather than printing an empty report.
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: not a metrics snapshot: %w", src, err)
+	}
+	if len(snap.Counters) == 0 && len(snap.Gauges) == 0 && len(snap.Histograms) == 0 {
+		return fmt.Errorf("%s: no metrics found (not a snapshot or /metrics.json document?)", src)
+	}
+	fmt.Printf("metrics (%s):\n", src)
+	printSnapshot(snap)
+	return nil
+}
+
+// printSnapshot renders one registry snapshot as aligned text, keys
+// sorted for diffable output.
+func printSnapshot(s obs.Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-52s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-52s %g\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		line := fmt.Sprintf("  %-52s n=%d", name, h.Count)
+		if h.Count > 0 {
+			line += fmt.Sprintf(" sum=%g min=%g max=%g", h.Sum, h.Min, h.Max)
+		}
+		if h.Rejected > 0 {
+			line += fmt.Sprintf(" rejected=%d", h.Rejected)
+		}
+		fmt.Println(strings.TrimRight(line, " "))
+	}
+}

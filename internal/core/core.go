@@ -246,12 +246,23 @@ func (c *CPM) Observability(id circuit.NodeID) float64 {
 // Returns the increased error rate, which may be negative (the AT fixes
 // previously wrong patterns).
 func (c *CPM) DeltaER(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) float64 {
+	inc, dec := c.DeltaERCounts(nx, change, st)
+	return (float64(inc) - float64(dec)) / float64(c.m)
+}
+
+// DeltaERCounts returns the raw pattern counts behind DeltaER: inc
+// patterns predicted to become newly wrong and dec patterns predicted to
+// become fully corrected, out of the M-pattern sample. These Binomial
+// counts are what the statistical confidence layer (obs.Wilson /
+// obs.Hoeffding) consumes — DeltaER's normalised float erases the sample
+// size the interval math needs.
+func (c *CPM) DeltaERCounts(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) (incCount, decCount int64) {
 	if c.restricted {
 		panic("core: DeltaER on an output-restricted CPM")
 	}
 	statDeltaER.Inc()
 	if !change.Any() {
-		return 0
+		return 0, 0
 	}
 	// Case 2 (Lines 10-11): previously fully correct pattern, flip reaches
 	// some output -> newly wrong.
@@ -273,7 +284,7 @@ func (c *CPM) DeltaER(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) 
 			dec.And(dec, tmp)
 		}
 	}
-	return (float64(inc.Count()) - float64(dec.Count())) / float64(c.m)
+	return int64(inc.Count()), int64(dec.Count())
 }
 
 // aemColumns builds (or reuses) the per-pattern output words of the golden

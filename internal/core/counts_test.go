@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchals/internal/bitvec"
+	"batchals/internal/obs"
+)
+
+// TestDeltaERCountsConsistent pins the CI-plumbing contract: the raw
+// inc/dec counts are non-negative, bounded by the change popcount, and
+// normalise to exactly the float DeltaER returns.
+func TestDeltaERCountsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		_, approx, _, vals, st := buildApproxPair(t, r, 8, 30, 768, int64(trial))
+		c := Build(approx, vals)
+		for _, nx := range gatesOf(approx) {
+			change := bitvec.New(vals.M)
+			for i := 0; i < vals.M; i++ {
+				if r.Intn(3) == 0 {
+					change.Set(i, true)
+				}
+			}
+			inc, dec := c.DeltaERCounts(nx, change, st)
+			if inc < 0 || dec < 0 {
+				t.Fatalf("negative counts %d/%d", inc, dec)
+			}
+			flips := int64(change.Count())
+			if inc > flips || dec > flips {
+				t.Fatalf("counts %d/%d exceed %d changed patterns", inc, dec, flips)
+			}
+			got := c.DeltaER(nx, change, st)
+			want := (float64(inc) - float64(dec)) / float64(vals.M)
+			if math.Abs(got-want) > 1e-15 {
+				t.Fatalf("DeltaER %v != counts-derived %v (inc=%d dec=%d)", got, want, inc, dec)
+			}
+		}
+	}
+}
+
+// TestDeltaERCountsFeedConfidence wires the counts straight into the
+// obs confidence layer the way the flow does: Wilson intervals on the
+// inc proportion must bracket inc/M.
+func TestDeltaERCountsFeedConfidence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	_, approx, _, vals, st := buildApproxPair(t, r, 8, 40, 1024, 5)
+	c := Build(approx, vals)
+	gates := gatesOf(approx)
+	nx := gates[len(gates)/2]
+	change := bitvec.New(vals.M)
+	for i := 0; i < vals.M; i += 3 {
+		change.Set(i, true)
+	}
+	inc, _ := c.DeltaERCounts(nx, change, st)
+	iv := obs.Wilson(inc, int64(vals.M), 0)
+	p := float64(inc) / float64(vals.M)
+	if p < iv.Lo-1e-12 || p > iv.Hi+1e-12 {
+		t.Fatalf("Wilson %+v excludes inc proportion %v", iv, p)
+	}
+	if hw := obs.HoeffdingHalfWidth(int64(vals.M), obs.DeltaERSpan, 0.05); hw <= 0 || hw > 1 {
+		t.Fatalf("implausible Hoeffding half width %v for M=%d", hw, vals.M)
+	}
+}

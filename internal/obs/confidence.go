@@ -1,0 +1,179 @@
+package obs
+
+// Statistical confidence accounting for Monte-Carlo error estimates. The
+// paper's batch estimator prices every candidate AT from one M-pattern MC
+// sample, so each ΔER and each measured post-accept error rate is itself a
+// random variable; this file turns "how good is M?" from folklore into
+// telemetry. Two interval constructions are provided:
+//
+//   - Wilson score intervals for Binomial proportions (the measured error
+//     rate k/M, and inc/dec propagation counts from core.DeltaERCounts) —
+//     tight near 0 and 1, where ALS error budgets live.
+//   - Hoeffding intervals for means of bounded samples (a ΔER estimate is
+//     the mean of M iid per-pattern increments in [-1, +1]) —
+//     distribution-free, so they hold even where the estimator's
+//     per-pattern increments are far from Bernoulli.
+//
+// RunStats bundles the per-run gauge set: the current Wilson interval on
+// the measured error, its half-width against the ER threshold, the
+// Hoeffding half-width of the latest accepted ΔER, and a counter of
+// accepts whose interval straddled the constraint — the "sample size
+// inadequate" signal that tells an operator M must grow before the
+// threshold comparison means anything.
+
+import "math"
+
+// DefaultZ is the two-sided 95% normal quantile used when a zero z is
+// passed to Wilson.
+const DefaultZ = 1.959963984540054
+
+// Interval is a two-sided confidence interval. Level is the nominal
+// coverage (e.g. 0.95); a zero Interval means "not computed".
+type Interval struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Level float64 `json:"level"`
+}
+
+// HalfWidth returns half the interval's width.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// Straddles reports whether x lies strictly inside the interval — the
+// sample cannot resolve which side of x the true value is on.
+func (iv Interval) Straddles(x float64) bool { return iv.Lo < x && x < iv.Hi }
+
+// Valid reports whether the interval was actually computed.
+func (iv Interval) Valid() bool { return iv.Level > 0 }
+
+// Wilson returns the Wilson score interval for a Binomial proportion with
+// k successes in n trials at normal quantile z (0 selects DefaultZ, the
+// 95% level). Unlike the Wald interval it never escapes [0,1] and keeps
+// nominal coverage for k near 0 — exactly the regime of ALS error budgets.
+func Wilson(k, n int64, z float64) Interval {
+	if z <= 0 {
+		z = DefaultZ
+	}
+	level := math.Erf(z / math.Sqrt2)
+	if n <= 0 {
+		return Interval{Lo: 0, Hi: 1, Level: level}
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi, Level: level}
+}
+
+// HoeffdingHalfWidth returns the two-sided (1−delta)-confidence half-width
+// for the mean of n iid samples whose support has width span:
+//
+//	hw = span · sqrt( ln(2/delta) / (2n) )
+//
+// For a ΔER estimate the per-pattern increment lies in [-1, +1] (a pattern
+// becomes newly wrong, newly right, or is unaffected), so span = 2.
+func HoeffdingHalfWidth(n int64, span, delta float64) float64 {
+	if n <= 0 || span <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return span * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
+}
+
+// DeltaERSpan is the per-pattern support width of a ΔER increment.
+const DeltaERSpan = 2.0
+
+// Hoeffding returns the symmetric Hoeffding interval around mean.
+func Hoeffding(mean float64, n int64, span, delta float64) Interval {
+	hw := HoeffdingHalfWidth(n, span, delta)
+	return Interval{Lo: mean - hw, Hi: mean + hw, Level: 1 - delta}
+}
+
+// RunStats is the per-run confidence gauge set. A nil *RunStats is inert,
+// so flows call RecordAccept unconditionally. All gauges live under one
+// prefix:
+//
+//	<prefix>_er_ci_lo / _er_ci_hi / _er_ci_halfwidth   Wilson on measured ER
+//	<prefix>_er_ci_margin                              threshold − er_ci_hi
+//	<prefix>_delta_ci_halfwidth                        Hoeffding on the accepted ΔER
+//	<prefix>_mc_samples                                M
+//	<prefix>_ci_inadequate_total (counter)             accepts whose ER interval
+//	                                                   straddled the threshold
+type RunStats struct {
+	threshold float64
+	z         float64
+
+	erLo, erHi, erHW *Gauge
+	margin           *Gauge
+	deltaHW          *Gauge
+	samples          *Gauge
+	inadequate       *Counter
+}
+
+// NewRunStats resolves the confidence gauge set on reg. A nil registry
+// yields a nil (inert) RunStats.
+func NewRunStats(reg *Registry, prefix string, threshold float64) *RunStats {
+	if reg == nil {
+		return nil
+	}
+	return &RunStats{
+		threshold:  threshold,
+		z:          DefaultZ,
+		erLo:       reg.Gauge(prefix + "_er_ci_lo"),
+		erHi:       reg.Gauge(prefix + "_er_ci_hi"),
+		erHW:       reg.Gauge(prefix + "_er_ci_halfwidth"),
+		margin:     reg.Gauge(prefix + "_er_ci_margin"),
+		deltaHW:    reg.Gauge(prefix + "_delta_ci_halfwidth"),
+		samples:    reg.Gauge(prefix + "_mc_samples"),
+		inadequate: reg.Counter(prefix + "_ci_inadequate_total"),
+	}
+}
+
+// Inadequate returns the count of accepts whose ER interval straddled the
+// threshold so far; 0 on a nil RunStats.
+func (s *RunStats) Inadequate() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.inadequate.Value()
+}
+
+// RecordAccept folds one accepted substitution into the gauge set:
+// errCount wrong patterns out of m after applying, with the accepted
+// candidate's estimated ΔER. It returns the Wilson interval on the
+// measured error, the Hoeffding half-width on the ΔER estimate, and
+// whether the sample was adequate (the interval did not straddle the
+// threshold). On a nil RunStats the values are still computed — tracers
+// want them — but no gauges move.
+func (s *RunStats) RecordAccept(errCount, m int64, deltaEst float64) (er Interval, deltaHW float64, adequate bool) {
+	z := DefaultZ
+	threshold := math.NaN()
+	if s != nil {
+		z = s.z
+		threshold = s.threshold
+	}
+	er = Wilson(errCount, m, z)
+	deltaHW = HoeffdingHalfWidth(m, DeltaERSpan, 1-er.Level)
+	adequate = math.IsNaN(threshold) || !er.Straddles(threshold)
+	if s == nil {
+		return er, deltaHW, adequate
+	}
+	s.erLo.Set(er.Lo)
+	s.erHi.Set(er.Hi)
+	s.erHW.Set(er.HalfWidth())
+	s.margin.Set(s.threshold - er.Hi)
+	s.deltaHW.Set(deltaHW)
+	s.samples.Set(float64(m))
+	if !adequate {
+		s.inadequate.Inc()
+	}
+	return er, deltaHW, adequate
+}

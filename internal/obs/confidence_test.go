@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonBasicProperties(t *testing.T) {
+	// Interval always inside [0,1], contains the point estimate, shrinks
+	// with n.
+	cases := []struct{ k, n int64 }{
+		{0, 100}, {1, 100}, {50, 100}, {100, 100}, {3, 10000}, {9997, 10000},
+	}
+	for _, c := range cases {
+		iv := Wilson(c.k, c.n, 0)
+		p := float64(c.k) / float64(c.n)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			t.Fatalf("Wilson(%d,%d) = %+v not a valid sub-interval of [0,1]", c.k, c.n, iv)
+		}
+		if p < iv.Lo-1e-12 || p > iv.Hi+1e-12 {
+			t.Fatalf("Wilson(%d,%d) = %+v excludes point estimate %v", c.k, c.n, iv, p)
+		}
+		if !iv.Valid() {
+			t.Fatalf("Wilson(%d,%d) not marked valid", c.k, c.n)
+		}
+		wide := Wilson(c.k/10, c.n/10, 0)
+		if c.n >= 100 && wide.HalfWidth() < iv.HalfWidth() {
+			t.Fatalf("interval did not shrink with n: n=%d hw=%v, n=%d hw=%v",
+				c.n/10, wide.HalfWidth(), c.n, iv.HalfWidth())
+		}
+	}
+	// The 95% level must round-trip through the z quantile.
+	if lvl := Wilson(1, 10, 0).Level; math.Abs(lvl-0.95) > 1e-9 {
+		t.Fatalf("default level = %v, want 0.95", lvl)
+	}
+	// Known value: k=10, n=100, z=1.96 → approximately [0.0552, 0.1744].
+	iv := Wilson(10, 100, 1.96)
+	if math.Abs(iv.Lo-0.05523) > 5e-4 || math.Abs(iv.Hi-0.17437) > 5e-4 {
+		t.Fatalf("Wilson(10,100,1.96) = [%v,%v], want ≈[0.0552,0.1744]", iv.Lo, iv.Hi)
+	}
+	// Degenerate sample.
+	if iv := Wilson(0, 0, 0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("Wilson with n=0 should be vacuous [0,1], got %+v", iv)
+	}
+}
+
+func TestHoeffdingHalfWidth(t *testing.T) {
+	// hw = span·sqrt(ln(2/δ)/(2n)); check the closed form and monotonicity.
+	hw := HoeffdingHalfWidth(10000, DeltaERSpan, 0.05)
+	want := 2 * math.Sqrt(math.Log(2/0.05)/(2*10000))
+	if math.Abs(hw-want) > 1e-12 {
+		t.Fatalf("HoeffdingHalfWidth = %v, want %v", hw, want)
+	}
+	if h4 := HoeffdingHalfWidth(40000, DeltaERSpan, 0.05); math.Abs(h4-hw/2) > 1e-12 {
+		t.Fatalf("quadrupling n should halve the width: %v vs %v", h4, hw)
+	}
+	for _, bad := range []struct {
+		n    int64
+		span float64
+		d    float64
+	}{{0, 2, 0.05}, {100, 0, 0.05}, {100, 2, 0}, {100, 2, 1}} {
+		if hw := HoeffdingHalfWidth(bad.n, bad.span, bad.d); !math.IsInf(hw, 1) {
+			t.Fatalf("HoeffdingHalfWidth(%+v) = %v, want +Inf", bad, hw)
+		}
+	}
+	iv := Hoeffding(0.01, 10000, DeltaERSpan, 0.05)
+	if math.Abs(iv.HalfWidth()-hw) > 1e-12 || math.Abs(iv.Level-0.95) > 1e-12 {
+		t.Fatalf("Hoeffding interval %+v inconsistent with half width %v", iv, hw)
+	}
+}
+
+func TestIntervalStraddles(t *testing.T) {
+	iv := Interval{Lo: 0.01, Hi: 0.03, Level: 0.95}
+	if !iv.Straddles(0.02) {
+		t.Fatal("interior point not straddled")
+	}
+	for _, x := range []float64{0.01, 0.03, 0.005, 0.05} {
+		if iv.Straddles(x) {
+			t.Fatalf("%v should not be strictly inside %+v", x, iv)
+		}
+	}
+}
+
+func TestRunStatsGaugesAndInadequacy(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRunStats(reg, "flow", 0.02)
+
+	// Large M, error well under threshold: adequate, gauges set.
+	er, dhw, ok := rs.RecordAccept(10, 100000, 0.0001)
+	if !ok {
+		t.Fatalf("CI %+v nowhere near 0.02 flagged inadequate", er)
+	}
+	if dhw <= 0 || math.IsInf(dhw, 1) {
+		t.Fatalf("bad delta half width %v", dhw)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["flow_er_ci_hi"]; got != er.Hi {
+		t.Fatalf("er_ci_hi gauge %v != interval hi %v", got, er.Hi)
+	}
+	if got := snap.Gauges["flow_er_ci_margin"]; math.Abs(got-(0.02-er.Hi)) > 1e-15 {
+		t.Fatalf("margin gauge %v, want %v", got, 0.02-er.Hi)
+	}
+	if got := snap.Gauges["flow_mc_samples"]; got != 100000 {
+		t.Fatalf("mc_samples gauge %v", got)
+	}
+	if rs.Inadequate() != 0 {
+		t.Fatal("inadequate counter moved on a clear accept")
+	}
+
+	// Tiny M with the error right at the threshold: the interval straddles.
+	er, _, ok = rs.RecordAccept(2, 100, 0.001)
+	if ok || !er.Straddles(0.02) {
+		t.Fatalf("CI %+v at threshold 0.02 with M=100 should be inadequate", er)
+	}
+	if rs.Inadequate() != 1 {
+		t.Fatalf("inadequate counter = %d, want 1", rs.Inadequate())
+	}
+
+	// Nil RunStats computes but never touches gauges.
+	var nilRS *RunStats
+	er, dhw, ok = nilRS.RecordAccept(5, 1000, 0.001)
+	if !er.Valid() || dhw <= 0 || !ok {
+		t.Fatalf("nil RunStats returned %+v %v %v", er, dhw, ok)
+	}
+	if nilRS.Inadequate() != 0 {
+		t.Fatal("nil RunStats reports inadequacy")
+	}
+}

@@ -41,45 +41,56 @@ type Tracer interface {
 
 // PhaseInfo describes one completed phase span.
 type PhaseInfo struct {
-	Phase    Phase
-	Iter     int // 0 for spans outside the iteration loop
-	Duration time.Duration
-	Mem      MemDelta // zero unless memory tracking is on
+	Phase    Phase         `json:"phase"`
+	Iter     int           `json:"iter"` // 0 for spans outside the iteration loop
+	Duration time.Duration `json:"ns"`
+	Mem      MemDelta      `json:"mem,omitempty"` // zero unless memory tracking is on
 }
 
 // IterationInfo summarises one flow iteration.
 type IterationInfo struct {
-	Iter       int
-	CurErr     float64 // measured error entering the iteration
-	Candidates int     // candidates scored
-	Feasible   int     // candidates within the remaining budget
-	Accepted   bool
-	Duration   time.Duration
+	Iter       int           `json:"iter"`
+	CurErr     float64       `json:"cur_err"`  // measured error entering the iteration
+	Candidates int           `json:"cands"`    // candidates scored
+	Feasible   int           `json:"feasible"` // candidates within the remaining budget
+	Accepted   bool          `json:"accepted"`
+	Duration   time.Duration `json:"ns"`
 }
 
 // CandidateInfo describes one scored candidate.
 type CandidateInfo struct {
-	Iter     int
-	Target   string
-	Sub      string // "const0"/"const1" for constant substitution
-	Inverted bool
-	Delta    float64 // estimated increased error
-	Gain     float64 // predicted area gain
-	Score    float64
-	Exact    bool // estimate carries the CPM-exactness certificate
+	Iter     int     `json:"iter"`
+	Target   string  `json:"target"`
+	Sub      string  `json:"sub"` // "const0"/"const1" for constant substitution
+	Inverted bool    `json:"inv,omitempty"`
+	Delta    float64 `json:"delta"` // estimated increased error
+	Gain     float64 `json:"gain"`  // predicted area gain
+	Score    float64 `json:"score"`
+	Exact    bool    `json:"exact"` // estimate carries the CPM-exactness certificate
 }
 
 // AcceptInfo describes one accepted substitution.
 type AcceptInfo struct {
-	Iter      int
-	Target    string
-	Sub       string
-	Inverted  bool
-	Predicted float64 // curErr + estimated delta
-	Actual    float64 // measured error after applying
-	Drift     float64 // Actual - Predicted
-	Exact     bool    // chosen candidate's exactness certificate
-	Area      float64 // circuit area after applying
+	Iter      int     `json:"iter"`
+	Target    string  `json:"target"`
+	Sub       string  `json:"sub"`
+	Inverted  bool    `json:"inv,omitempty"`
+	Predicted float64 `json:"pred_err"`   // curErr + estimated delta
+	Actual    float64 `json:"actual_err"` // measured error after applying
+	Drift     float64 `json:"drift"`      // Actual - Predicted
+	Exact     bool    `json:"exact"`      // chosen candidate's exactness certificate
+	Area      float64 `json:"area"`       // circuit area after applying
+
+	// Statistical confidence accounting for the M-sample MC estimate
+	// behind this accept (filled by ER flows; zero — ErrCI.Valid() false —
+	// when the metric has no Binomial error count, e.g. AEM).
+	M       int      `json:"m,omitempty"`        // MC sample size
+	ErrCI   Interval `json:"err_ci,omitempty"`   // Wilson interval on Actual
+	DeltaHW float64  `json:"delta_hw,omitempty"` // Hoeffding half-width on the estimated ΔER
+	// CIAdequate is false when ErrCI straddles the flow's error threshold:
+	// the accept/reject decision was made inside the sample noise and M is
+	// too small to trust it.
+	CIAdequate bool `json:"ci_adequate,omitempty"`
 }
 
 // VerifyInfo describes one exact recheck of a batch-estimated candidate
@@ -92,6 +103,28 @@ type VerifyInfo struct {
 	Predicted float64 // batch-estimated delta
 	Actual    float64 // exact resimulated delta
 	Exact     bool    // certificate of the batch estimate
+}
+
+// CandidateFilter is an optional Tracer capability: a tracer returning
+// false from WantsCandidates promises to drop every OnCandidate event, so
+// flows may skip materialising per-candidate event arguments — the hottest
+// event path — entirely. Tracers without the method are assumed to consume
+// candidates.
+type CandidateFilter interface {
+	WantsCandidates() bool
+}
+
+// WantsCandidates reports whether tr consumes OnCandidate events: false
+// for nil tracers and for CandidateFilter implementations that decline,
+// true otherwise.
+func WantsCandidates(tr Tracer) bool {
+	if tr == nil {
+		return false
+	}
+	if f, ok := tr.(CandidateFilter); ok {
+		return f.WantsCandidates()
+	}
+	return true
 }
 
 // multiTracer fans events out to several tracers.
@@ -125,6 +158,16 @@ func (m multiTracer) OnIteration(i IterationInfo) {
 	for _, t := range m {
 		t.OnIteration(i)
 	}
+}
+
+// WantsCandidates reports whether any member consumes candidate events.
+func (m multiTracer) WantsCandidates() bool {
+	for _, t := range m {
+		if WantsCandidates(t) {
+			return true
+		}
+	}
+	return false
 }
 
 func (m multiTracer) OnCandidate(i CandidateInfo) {

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -35,6 +38,29 @@ func (p Phase) String() string {
 		return phaseNames[p]
 	}
 	return "unknown"
+}
+
+// MarshalJSON renders the phase as its snake_case name, so flight-recorder
+// dumps and stream events are self-describing.
+func (p Phase) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a phase name (the String form) or a bare index.
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	for i, name := range phaseNames {
+		if name == s {
+			*p = Phase(i)
+			return nil
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || Phase(n) >= NumPhases {
+		return fmt.Errorf("obs: unknown phase %q", s)
+	}
+	*p = Phase(n)
+	return nil
 }
 
 // MemDelta is the allocation activity across a span, from

@@ -46,17 +46,26 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // substitution or verification recheck, not per candidate), so a mutex is
 // simpler than striped atomics and still cheap.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // len(bounds)+1, last is the +Inf bucket
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
+	mu       sync.Mutex
+	bounds   []float64
+	counts   []int64 // len(bounds)+1, last is the +Inf bucket
+	count    int64
+	sum      float64
+	min      float64
+	max      float64
+	rejected int64 // NaN / ±Inf observations dropped
 }
 
-// Observe records one value.
+// Observe records one value. NaN and ±Inf are rejected (counted in the
+// snapshot's Rejected field, never folded into sum/min/max — one NaN
+// would poison every derived statistic forever).
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.mu.Lock()
+		h.rejected++
+		h.mu.Unlock()
+		return
+	}
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
@@ -73,24 +82,26 @@ func (h *Histogram) Observe(v float64) {
 
 // HistogramSnapshot is the frozen state of a histogram.
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"` // upper bounds; +Inf bucket implicit
-	Counts []int64   `json:"counts"` // len(Bounds)+1
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Min    float64   `json:"min"`
-	Max    float64   `json:"max"`
+	Bounds   []float64 `json:"bounds"` // upper bounds; +Inf bucket implicit
+	Counts   []int64   `json:"counts"` // len(Bounds)+1
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+	Rejected int64     `json:"rejected,omitempty"` // NaN/±Inf observations dropped
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return HistogramSnapshot{
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: append([]int64(nil), h.counts...),
-		Count:  h.count,
-		Sum:    h.sum,
-		Min:    h.min,
-		Max:    h.max,
+		Bounds:   append([]float64(nil), h.bounds...),
+		Counts:   append([]int64(nil), h.counts...),
+		Count:    h.count,
+		Sum:      h.sum,
+		Min:      h.min,
+		Max:      h.max,
+		Rejected: h.rejected,
 	}
 }
 

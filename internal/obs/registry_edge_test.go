@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound contract:
+// an observation exactly on a bound lands in that bound's bucket, one ULP
+// above it spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edges", []float64{-1, 0, 1})
+
+	h.Observe(-1)                     // exactly on bounds[0] -> bucket 0
+	h.Observe(0)                      // exactly on bounds[1] -> bucket 1
+	h.Observe(1)                      // exactly on bounds[2] -> bucket 2
+	h.Observe(math.Nextafter(1, 2))   // just above the last bound -> +Inf bucket
+	h.Observe(math.Nextafter(-1, -2)) // just below the first bound -> bucket 0
+	h.Observe(math.Nextafter(-1, 0))  // just above bounds[0] -> bucket 1
+
+	s := reg.Snapshot().Histograms["edges"]
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d count %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count %d, want 6", s.Count)
+	}
+	if s.Min != math.Nextafter(-1, -2) || s.Max != math.Nextafter(1, 2) {
+		t.Fatalf("min/max %v/%v wrong", s.Min, s.Max)
+	}
+}
+
+// TestHistogramRejectsNaNAndInf pins that non-finite observations are
+// dropped and counted instead of poisoning sum/min/max.
+func TestHistogramRejectsNaNAndInf(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("guarded", DriftBounds)
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(-0.5)
+
+	s := reg.Snapshot().Histograms["guarded"]
+	if s.Count != 2 {
+		t.Fatalf("count %d, want 2 (non-finite values must not be recorded)", s.Count)
+	}
+	if s.Rejected != 3 {
+		t.Fatalf("rejected %d, want 3", s.Rejected)
+	}
+	if math.IsNaN(s.Sum) || math.IsInf(s.Sum, 0) {
+		t.Fatalf("sum poisoned: %v", s.Sum)
+	}
+	if s.Sum != 0 || s.Min != -0.5 || s.Max != 0.5 {
+		t.Fatalf("aggregates wrong: sum=%v min=%v max=%v", s.Sum, s.Min, s.Max)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}
+
+// TestHistogramSnapshotWhileObservingParallel runs Observe (including
+// boundary and non-finite values) against concurrent snapshots; -race
+// must stay silent and every snapshot must be internally consistent.
+func TestHistogramSnapshotWhileObservingParallel(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("live", []float64{0, 0.5, 1})
+	values := []float64{-0.25, 0, 0.25, 0.5, 1, 2, math.NaN(), math.Inf(1)}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 512; i++ {
+				h.Observe(values[(g+i)%len(values)])
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s := reg.Snapshot().Histograms["live"]
+			var total int64
+			for _, c := range s.Counts {
+				total += c
+			}
+			if total != s.Count {
+				t.Errorf("torn snapshot: bucket sum %d != count %d", total, s.Count)
+				return
+			}
+			if s.Count > 0 && (math.IsNaN(s.Sum) || s.Min > s.Max) {
+				t.Errorf("inconsistent aggregates: %+v", s)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	s := reg.Snapshot().Histograms["live"]
+	if s.Count+s.Rejected != 4*512 {
+		t.Fatalf("count %d + rejected %d != %d observations", s.Count, s.Rejected, 4*512)
+	}
+	if s.Rejected != 4*512/4 {
+		t.Fatalf("rejected %d, want %d (2 of 8 values per cycle are non-finite)", s.Rejected, 4*512/4)
+	}
+}

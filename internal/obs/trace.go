@@ -18,6 +18,9 @@ type JSONLTracer struct {
 	mu             sync.Mutex
 	w              *bufio.Writer
 	enc            *json.Encoder
+	err            error // first write/encode error, sticky
+	errCount       int64
+	errCounter     *Counter // optional registry mirror of errCount
 	EmitCandidates bool
 }
 
@@ -28,11 +31,45 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer {
 	return &JSONLTracer{w: bw, enc: json.NewEncoder(bw)}
 }
 
-// Flush writes any buffered events through to the underlying writer.
+// CountErrorsIn mirrors the tracer's write-error count into reg's counter
+// named name, so a metrics scrape shows a dying trace sink.
+func (t *JSONLTracer) CountErrorsIn(reg *Registry, name string) {
+	if reg == nil {
+		return
+	}
+	t.mu.Lock()
+	t.errCounter = reg.Counter(name)
+	t.mu.Unlock()
+}
+
+// Err returns the first write or encode error the tracer has hit, or nil.
+// A failing trace sink never aborts the synthesis run (events after the
+// first failure are still attempted — the writer may recover — and simply
+// add to ErrCount when they fail too); callers that care check Err after
+// Flush.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ErrCount returns how many event writes have failed so far.
+func (t *JSONLTracer) ErrCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errCount
+}
+
+// Flush writes any buffered events through to the underlying writer. The
+// returned error is sticky: once a flush or event write has failed, Err
+// keeps reporting it.
 func (t *JSONLTracer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	if err := t.w.Flush(); err != nil {
+		t.recordErrLocked(err)
+	}
+	return t.err
 }
 
 // jsonlPhase mirrors PhaseInfo with stable JSON field names.
@@ -92,6 +129,10 @@ type jsonlCand struct {
 	Exact    bool    `json:"exact"`
 }
 
+// WantsCandidates mirrors EmitCandidates for the CandidateFilter
+// capability, letting flows skip candidate-event construction entirely.
+func (t *JSONLTracer) WantsCandidates() bool { return t.EmitCandidates }
+
 // OnCandidate emits a "cand" event when EmitCandidates is set.
 func (t *JSONLTracer) OnCandidate(i CandidateInfo) {
 	if !t.EmitCandidates {
@@ -121,30 +162,58 @@ type jsonlAccept struct {
 	Drift     float64 `json:"drift"`
 	Exact     bool    `json:"exact"`
 	Area      float64 `json:"area"`
+	// Confidence fields, present when the flow computed them (M > 0).
+	M          int     `json:"m,omitempty"`
+	ErrLo      float64 `json:"err_ci_lo,omitempty"`
+	ErrHi      float64 `json:"err_ci_hi,omitempty"`
+	CILevel    float64 `json:"ci_level,omitempty"`
+	DeltaHW    float64 `json:"delta_hw,omitempty"`
+	Inadequate bool    `json:"ci_inadequate,omitempty"`
 }
 
 // OnAccept emits an "accept" event.
 func (t *JSONLTracer) OnAccept(i AcceptInfo) {
 	t.emit(jsonlAccept{
-		Ev:        "accept",
-		Iter:      i.Iter,
-		Target:    i.Target,
-		Sub:       i.Sub,
-		Inverted:  i.Inverted,
-		Predicted: i.Predicted,
-		Actual:    i.Actual,
-		Drift:     i.Drift,
-		Exact:     i.Exact,
-		Area:      i.Area,
+		Ev:         "accept",
+		Iter:       i.Iter,
+		Target:     i.Target,
+		Sub:        i.Sub,
+		Inverted:   i.Inverted,
+		Predicted:  i.Predicted,
+		Actual:     i.Actual,
+		Drift:      i.Drift,
+		Exact:      i.Exact,
+		Area:       i.Area,
+		M:          i.M,
+		ErrLo:      i.ErrCI.Lo,
+		ErrHi:      i.ErrCI.Hi,
+		CILevel:    i.ErrCI.Level,
+		DeltaHW:    i.DeltaHW,
+		Inadequate: i.M > 0 && !i.CIAdequate,
 	})
 }
 
 func (t *JSONLTracer) emit(v any) {
 	t.mu.Lock()
 	// Encode errors (a full disk, a closed pipe) must not abort a synthesis
-	// run over its telemetry; the trace just ends early.
-	_ = t.enc.Encode(v)
+	// run over its telemetry; the trace just ends early, but the failure is
+	// recorded so Err/ErrCount (and the optional registry counter) surface
+	// it instead of silently losing the tail of the trace.
+	if err := t.enc.Encode(v); err != nil {
+		t.recordErrLocked(err)
+	}
 	t.mu.Unlock()
+}
+
+// recordErrLocked notes a failed write; t.mu must be held.
+func (t *JSONLTracer) recordErrLocked(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+	t.errCount++
+	if t.errCounter != nil {
+		t.errCounter.Inc()
+	}
 }
 
 var _ Tracer = (*JSONLTracer)(nil)

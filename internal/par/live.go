@@ -1,0 +1,96 @@
+package par
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// DefaultSampleInterval is the gauge refresh period SampleInto uses when
+// given a non-positive interval.
+const DefaultSampleInterval = 250 * time.Millisecond
+
+// SampleInto starts a background sampler that periodically publishes the
+// pool's live state as gauges on reg:
+//
+//	par_pool_workers              worker count (set once)
+//	par_pool_inflight             tasks executing right now
+//	par_pool_live_speedup         busy/wall realised speedup so far
+//	par_worker_utilization{worker="i"}   fraction of the last interval worker i spent in task bodies
+//	par_worker_last_task_ns{worker="i"}  duration of worker i's most recent task
+//
+// The per-worker series are capped at maxWorkerCounters, matching the
+// registry counters. The returned stop function halts the sampler after
+// writing one final sample; it is idempotent and safe to defer. A nil pool
+// or nil registry returns a no-op stop.
+func (p *Pool) SampleInto(reg *obs.Registry, every time.Duration) (stop func()) {
+	if p == nil || reg == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = DefaultSampleInterval
+	}
+	nw := len(p.perBusyNS)
+	inflightG := reg.Gauge("par_pool_inflight")
+	speedupG := reg.Gauge("par_pool_live_speedup")
+	utilG := make([]*obs.Gauge, nw)
+	lastG := make([]*obs.Gauge, nw)
+	for w := 0; w < nw; w++ {
+		id := strconv.Itoa(w)
+		utilG[w] = reg.Gauge(`par_worker_utilization{worker="` + id + `"}`)
+		lastG[w] = reg.Gauge(`par_worker_last_task_ns{worker="` + id + `"}`)
+	}
+	reg.Gauge("par_pool_workers").Set(float64(p.workers))
+
+	prevBusy := make([]int64, nw)
+	prevT := time.Now()
+	sample := func(now time.Time) {
+		inflightG.Set(float64(p.inflight.Load()))
+		speedupG.Set(p.Speedup())
+		elapsed := now.Sub(prevT)
+		for w := 0; w < nw; w++ {
+			b := p.perBusyNS[w].Load()
+			if elapsed > 0 {
+				utilG[w].Set(float64(b-prevBusy[w]) / float64(elapsed))
+			}
+			prevBusy[w] = b
+			lastG[w].Set(float64(p.lastTaskNS[w].Load()))
+		}
+		prevT = now
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample(time.Now())
+				return
+			case now := <-tick.C:
+				sample(now)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// Inflight reports the number of tasks executing at this instant. It is a
+// monitoring observable, not a synchronisation primitive.
+func (p *Pool) Inflight() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.inflight.Load()
+}

@@ -1,0 +1,95 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// TestSampleIntoPublishesGauges runs real work through a pool under an
+// active sampler and checks the gauge set lands on the registry with sane
+// values once the sampler stops (stop writes a final sample).
+func TestSampleIntoPublishesGauges(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	reg := obs.NewRegistry()
+	stop := p.SampleInto(reg, time.Millisecond)
+
+	var spins atomic.Int64
+	for round := 0; round < 5; round++ {
+		p.Do(64, func(worker, task int) {
+			until := time.Now().Add(200 * time.Microsecond)
+			for time.Now().Before(until) {
+				spins.Add(1)
+			}
+		})
+	}
+	stop()
+	stop() // idempotent
+
+	s := reg.Snapshot()
+	if got := s.Gauges["par_pool_workers"]; got != 4 {
+		t.Fatalf("par_pool_workers = %v, want 4", got)
+	}
+	if got := s.Gauges["par_pool_inflight"]; got != 0 {
+		t.Fatalf("par_pool_inflight = %v after Do returned, want 0", got)
+	}
+	if got := s.Gauges["par_pool_live_speedup"]; got <= 0 {
+		t.Fatalf("par_pool_live_speedup = %v, want > 0", got)
+	}
+	for _, name := range []string{
+		`par_worker_utilization{worker="0"}`,
+		`par_worker_last_task_ns{worker="0"}`,
+	} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Fatalf("gauge %q missing from snapshot (have %d gauges)", name, len(s.Gauges))
+		}
+	}
+	// Every worker of a 4-worker pool that chewed through 5×64 spin tasks
+	// must have recorded at least one task duration.
+	var touched int
+	for w := 0; w < 4; w++ {
+		if reg.Gauge(`par_worker_last_task_ns{worker="`+string(rune('0'+w))+`"}`).Value() > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no worker recorded a last-task duration")
+	}
+	if spins.Load() == 0 {
+		t.Fatal("workload did not run")
+	}
+}
+
+// TestSampleIntoNilSafety pins that nil pools and registries yield no-op
+// stops instead of panics.
+func TestSampleIntoNilSafety(t *testing.T) {
+	var p *Pool
+	stop := p.SampleInto(obs.NewRegistry(), time.Millisecond)
+	stop()
+	p2 := NewPool(1)
+	stop = p2.SampleInto(nil, time.Millisecond)
+	stop()
+	if p.Inflight() != 0 || p2.Inflight() != 0 {
+		t.Fatal("inflight nonzero on idle pools")
+	}
+}
+
+// TestInflightReturnsToZeroParallel hammers Do from sequential rounds while
+// a sampler reads the live atomics; -race must stay silent and inflight
+// must be zero between batches.
+func TestInflightReturnsToZeroParallel(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	reg := obs.NewRegistry()
+	stop := p.SampleInto(reg, 500*time.Microsecond)
+	defer stop()
+	for round := 0; round < 20; round++ {
+		p.Do(9, func(worker, task int) { time.Sleep(50 * time.Microsecond) })
+		if got := p.Inflight(); got != 0 {
+			t.Fatalf("round %d: inflight %d after Do returned", round, got)
+		}
+	}
+}

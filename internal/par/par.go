@@ -59,6 +59,14 @@ type Pool struct {
 	// construction so each task completion costs two atomic adds.
 	workerTasks []*obs.Counter
 	workerBusy  []*obs.Counter
+
+	// Live telemetry, per pool (the registry counters above are shared by
+	// name across pools). inflight counts tasks currently executing;
+	// perBusyNS / lastTaskNS feed the SampleInto utilization gauges and are
+	// capped at maxWorkerCounters entries to bound label cardinality.
+	inflight   atomic.Int64
+	perBusyNS  []atomic.Int64
+	lastTaskNS []atomic.Int64
 }
 
 type task struct {
@@ -80,6 +88,8 @@ func NewPool(workers int) *Pool {
 	}
 	p.workerTasks = obs.PerWorkerCounters(obs.Default(), "par_worker_tasks_total", nc)
 	p.workerBusy = obs.PerWorkerCounters(obs.Default(), "par_worker_busy_ns_total", nc)
+	p.perBusyNS = make([]atomic.Int64, nc)
+	p.lastTaskNS = make([]atomic.Int64, nc)
 	if workers == 1 {
 		return p
 	}
@@ -94,6 +104,7 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker(w int) {
 	defer p.wg.Done()
 	for t := range p.tasks {
+		p.inflight.Add(1)
 		start := time.Now()
 		t.fn(w, t.idx)
 		p.finishTask(w, time.Since(start))
@@ -103,10 +114,15 @@ func (p *Pool) worker(w int) {
 
 func (p *Pool) finishTask(w int, d time.Duration) {
 	p.busyNS.Add(int64(d))
+	p.inflight.Add(-1)
 	statPoolTasks.Inc()
 	if w < len(p.workerTasks) {
 		p.workerTasks[w].Inc()
 		p.workerBusy[w].Add(int64(d))
+	}
+	if w < len(p.perBusyNS) {
+		p.perBusyNS[w].Add(int64(d))
+		p.lastTaskNS[w].Store(int64(d))
 	}
 }
 
@@ -133,6 +149,9 @@ func (p *Pool) Do(n int, fn func(worker, task int)) {
 	if p == nil || p.workers == 1 || n == 1 {
 		start := time.Now()
 		for i := 0; i < n; i++ {
+			if p != nil {
+				p.inflight.Add(1)
+			}
 			ts := time.Now()
 			fn(0, i)
 			if p != nil {

@@ -204,13 +204,35 @@ type runObs struct {
 	rollbacks   *obs.Counter
 	acceptDrift *obs.DriftRecorder
 	verifyDrift *obs.DriftRecorder
+
+	// Confidence accounting for the M-sample MC estimate. conf is non-nil
+	// only for metered ER runs; erMetric/threshold let a tracer-only run
+	// still compute per-accept intervals.
+	conf      *obs.RunStats
+	erMetric  bool
+	threshold float64
+
+	// emitCands caches obs.WantsCandidates(tracer): when the attached
+	// tracer declines the candidate firehose (a StreamTracer or JSONLTracer
+	// with EmitCandidates off, a FlightRecorder), the scoring loop skips
+	// building CandidateInfo — including the name lookups — entirely, which
+	// keeps the per-candidate path allocation-identical to the nil-tracer
+	// path even with live subscribers attached.
+	emitCands bool
 }
 
 func newRunObs(cfg *Config, net *circuit.Network) *runObs {
 	if cfg.Tracer == nil && cfg.Metrics == nil {
 		return nil
 	}
-	o := &runObs{tracer: cfg.Tracer, reg: cfg.Metrics, net: net}
+	o := &runObs{
+		tracer:    cfg.Tracer,
+		reg:       cfg.Metrics,
+		net:       net,
+		erMetric:  cfg.Metric == core.MetricER,
+		threshold: cfg.Threshold,
+		emitCands: obs.WantsCandidates(cfg.Tracer),
+	}
 	if reg := cfg.Metrics; reg != nil {
 		o.iters = reg.Counter("sasimi_iterations_total")
 		o.cands = reg.Counter("sasimi_candidates_scored_total")
@@ -218,6 +240,9 @@ func newRunObs(cfg *Config, net *circuit.Network) *runObs {
 		o.rollbacks = reg.Counter("sasimi_rollbacks_total")
 		o.acceptDrift = obs.NewDriftRecorder(reg, "sasimi_accept_drift")
 		o.verifyDrift = obs.NewDriftRecorder(reg, "sasimi_verify_drift")
+		if o.erMetric {
+			o.conf = obs.NewRunStats(reg, "sasimi", cfg.Threshold)
+		}
 	}
 	return o
 }
@@ -229,7 +254,7 @@ func (o *runObs) candidateScored(iter int, c *Candidate) {
 	if o.cands != nil {
 		o.cands.Inc()
 	}
-	if o.tracer != nil {
+	if o.emitCands {
 		o.tracer.OnCandidate(obs.CandidateInfo{
 			Iter:     iter,
 			Target:   o.net.NameOf(c.Target),
@@ -271,7 +296,7 @@ func (o *runObs) iteration(iter int, curErr float64, cands, feasible int, accept
 	}
 }
 
-func (o *runObs) accepted(iter int, target, sub string, inverted bool, predicted, actual float64, exact bool, area float64) {
+func (o *runObs) accepted(iter int, target, sub string, inverted bool, predicted, actual float64, exact bool, area float64, deltaEst float64, errCount, m int64) {
 	if o == nil {
 		return
 	}
@@ -281,17 +306,39 @@ func (o *runObs) accepted(iter int, target, sub string, inverted bool, predicted
 	if o.acceptDrift != nil {
 		o.acceptDrift.Record(predicted, actual, exact)
 	}
+	// Confidence intervals exist only when the metric is a Binomial
+	// proportion over the M samples (ER); for AEM the fields stay zero and
+	// ErrCI.Valid() is false.
+	var (
+		errCI    obs.Interval
+		deltaHW  float64
+		adequate bool
+		mInfo    int
+	)
+	if o.erMetric && m > 0 && (o.conf != nil || o.tracer != nil) {
+		errCI, deltaHW, adequate = o.conf.RecordAccept(errCount, m, deltaEst)
+		if o.conf == nil {
+			// Nil RunStats computes the interval but cannot know the
+			// threshold; settle adequacy here for the tracer event.
+			adequate = !errCI.Straddles(o.threshold)
+		}
+		mInfo = int(m)
+	}
 	if o.tracer != nil {
 		o.tracer.OnAccept(obs.AcceptInfo{
-			Iter:      iter,
-			Target:    target,
-			Sub:       sub,
-			Inverted:  inverted,
-			Predicted: predicted,
-			Actual:    actual,
-			Drift:     actual - predicted,
-			Exact:     exact,
-			Area:      area,
+			Iter:       iter,
+			Target:     target,
+			Sub:        sub,
+			Inverted:   inverted,
+			Predicted:  predicted,
+			Actual:     actual,
+			Drift:      actual - predicted,
+			Exact:      exact,
+			Area:       area,
+			M:          mInfo,
+			ErrCI:      errCI,
+			DeltaHW:    deltaHW,
+			CIAdequate: adequate,
 		})
 	}
 }
@@ -323,6 +370,12 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 
 	pool := par.NewPool(cfg.Workers)
 	defer pool.Close()
+	if cfg.Metrics != nil {
+		// Live worker-utilization / inflight gauges, refreshed while the
+		// run is in flight and finalised when the flow returns.
+		stopSampler := pool.SampleInto(cfg.Metrics, 0)
+		defer stopSampler()
+	}
 
 	sp := prof.Begin(obs.PhasePatternGen)
 	patterns := cfg.Patterns
@@ -435,7 +488,8 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		res.FinalError = actual
 		targetName := backup.NameOf(chosen.Target)
 		subN := subName(backup, &chosen)
-		o.accepted(iter, targetName, subN, chosen.Inverted, predicted, actual, chosen.Exact, res.FinalArea)
+		o.accepted(iter, targetName, subN, chosen.Inverted, predicted, actual, chosen.Exact, res.FinalArea,
+			chosen.Delta, int64(newSt.WrongAny.Count()), int64(patterns.NumPatterns()))
 		o.iteration(iter, curErr, len(cands), len(feasible), true, time.Since(iterStart))
 		if cfg.KeepTrace {
 			res.Iterations = append(res.Iterations, IterationRecord{

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batchals/internal/bench"
+	"batchals/internal/core"
+	"batchals/internal/sasimi"
+)
+
+func contextWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// TestServedFlowIsBitIdentical is the acceptance gate of the serving
+// layer: a flow wired into a Run — metrics registry, stream tracer with a
+// live SSE consumer, flight recorder — must synthesise the bit-identical
+// circuit a bare flow produces.
+func TestServedFlowIsBitIdentical(t *testing.T) {
+	net, err := bench.ByName("mul4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sasimi.Config{
+		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 7,
+		Estimator: sasimi.EstimatorBatch,
+	}
+	plain, err := sasimi.Run(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(NewRunRegistry())
+	s.Heartbeat = 10 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	run := s.Runs.Get("mul4")
+
+	// Attach a live SSE consumer that reads the whole stream.
+	resp, err := http.Get(ts.URL + "/events?run=mul4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nEvents atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: ") {
+				nEvents.Add(1)
+			}
+		}
+	}()
+
+	served := cfg
+	served.Metrics = run.Registry
+	served.Tracer = run.Tracer()
+	run.SetState(RunActive, "")
+	res, err := sasimi.Run(net, served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.SetState(RunDone, "")
+	// Let the consumer drain what the flow published before disconnecting.
+	deadline := time.Now().Add(2 * time.Second)
+	for nEvents.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resp.Body.Close() // disconnect the consumer
+	<-done
+
+	if plain.FinalArea != res.FinalArea || plain.NumIterations != res.NumIterations {
+		t.Fatalf("serving changed the flow: %v/%d vs %v/%d",
+			plain.FinalArea, plain.NumIterations, res.FinalArea, res.NumIterations)
+	}
+	if plain.Approx.Dump() != res.Approx.Dump() {
+		t.Fatal("serving changed the synthesised circuit")
+	}
+	if nEvents.Load() == 0 {
+		t.Fatal("live SSE consumer saw no events from the served flow")
+	}
+
+	// The run's own registry carries the flow metrics, and the flight
+	// recorder retained the accepts.
+	snap := run.Registry.Snapshot()
+	if snap.Counters["sasimi_accepts_total"] != int64(res.NumIterations) {
+		t.Fatalf("run registry accepts %d != %d",
+			snap.Counters["sasimi_accepts_total"], res.NumIterations)
+	}
+	dump := run.Flight.Snapshot()
+	if dump.TotalAccepts != int64(res.NumIterations) {
+		t.Fatalf("flight recorder accepts %d != %d", dump.TotalAccepts, res.NumIterations)
+	}
+	// Confidence fields flowed all the way into the recorded accepts.
+	for _, a := range dump.Accepts {
+		if a.M != 2000 || !a.ErrCI.Valid() {
+			t.Fatalf("flight-recorded accept lost confidence fields: %+v", a)
+		}
+	}
+}

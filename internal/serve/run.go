@@ -1,0 +1,223 @@
+// Package serve is the embeddable live-observability service: an
+// HTTP server (stdlib only) exposing the obs metrics registries in
+// Prometheus text and JSON form, server-sent event streams of live flow
+// traces, per-run flight-recorder dumps, health/readiness probes and the
+// net/http/pprof profiling surface. It is process-internal plumbing: a
+// daemon (cmd/alsd) or a CLI run (cmd/alsrun -serve) attaches it to
+// whatever runs it is executing.
+package serve
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// RunState is the lifecycle phase of a named run.
+type RunState int32
+
+// Run lifecycle states.
+const (
+	RunPending RunState = iota
+	RunActive
+	RunDone
+	RunFailed
+)
+
+// String returns the wire name of the state.
+func (s RunState) String() string {
+	switch s {
+	case RunPending:
+		return "pending"
+	case RunActive:
+		return "active"
+	case RunDone:
+		return "done"
+	case RunFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Run bundles the observability sinks of one named flow run: its own
+// metrics registry, a streaming tracer for live subscribers, and a flight
+// recorder holding the recent event history. Wire it into a flow as
+//
+//	cfg.Metrics = run.Registry
+//	cfg.Tracer  = run.Tracer()   // stream + flight fan-out
+type Run struct {
+	Name     string
+	Registry *obs.Registry
+	Stream   *obs.StreamTracer
+	Flight   *obs.FlightRecorder
+
+	state   atomic.Int32
+	started time.Time
+	err     atomic.Pointer[string]
+}
+
+// Tracer returns the run's event sink: the stream tracer and flight
+// recorder fanned out as one Tracer.
+func (r *Run) Tracer() obs.Tracer { return obs.Multi(r.Stream, r.Flight) }
+
+// SetState moves the run through its lifecycle; an optional error message
+// accompanies RunFailed.
+func (r *Run) SetState(s RunState, errMsg string) {
+	r.state.Store(int32(s))
+	if errMsg != "" {
+		r.err.Store(&errMsg)
+	}
+}
+
+// State returns the run's current lifecycle state.
+func (r *Run) State() RunState { return RunState(r.state.Load()) }
+
+// Err returns the failure message of a RunFailed run, or "".
+func (r *Run) Err() string {
+	if p := r.err.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// RunSummary is the JSON shape of one run in the /runs listing.
+type RunSummary struct {
+	Name        string `json:"name"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	UptimeNS    int64  `json:"uptime_ns"`
+	Subscribers int    `json:"subscribers"`
+	Dropped     int64  `json:"dropped_events"`
+}
+
+// Summary returns the run's /runs listing entry.
+func (r *Run) Summary() RunSummary {
+	return RunSummary{
+		Name:        r.Name,
+		State:       r.State().String(),
+		Error:       r.Err(),
+		UptimeNS:    int64(time.Since(r.started)),
+		Subscribers: r.Stream.Subscribers(),
+		Dropped:     r.Stream.Dropped(),
+	}
+}
+
+// RunRegistry tracks the named runs of one process. Get is get-or-create,
+// so the serving layer and the job runner can race to name a run and agree
+// on its sinks.
+type RunRegistry struct {
+	mu    sync.RWMutex
+	runs  map[string]*Run
+	order []string
+}
+
+// NewRunRegistry returns an empty registry.
+func NewRunRegistry() *RunRegistry {
+	return &RunRegistry{runs: make(map[string]*Run)}
+}
+
+// Get returns the run named name, creating it (with a fresh metrics
+// registry, stream tracer and flight recorder) on first use.
+func (rr *RunRegistry) Get(name string) *Run {
+	rr.mu.RLock()
+	r := rr.runs[name]
+	rr.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if r = rr.runs[name]; r == nil {
+		r = &Run{
+			Name:     name,
+			Registry: obs.NewRegistry(),
+			Stream:   obs.NewStreamTracer(name),
+			Flight:   obs.NewFlightRecorder(0),
+			started:  time.Now(),
+		}
+		r.Stream.CountDropsIn(r.Registry, "serve_stream_dropped_total")
+		rr.runs[name] = r
+		rr.order = append(rr.order, name)
+	}
+	return r
+}
+
+// Lookup returns the run named name without creating it.
+func (rr *RunRegistry) Lookup(name string) (*Run, bool) {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	r, ok := rr.runs[name]
+	return r, ok
+}
+
+// Names returns the run names in creation order.
+func (rr *RunRegistry) Names() []string {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	return append([]string(nil), rr.order...)
+}
+
+// Summaries returns the /runs listing in creation order.
+func (rr *RunRegistry) Summaries() []RunSummary {
+	rr.mu.RLock()
+	runs := make([]*Run, 0, len(rr.order))
+	for _, name := range rr.order {
+		runs = append(runs, rr.runs[name])
+	}
+	rr.mu.RUnlock()
+	out := make([]RunSummary, len(runs))
+	for i, r := range runs {
+		out[i] = r.Summary()
+	}
+	return out
+}
+
+// injectRunLabel rewrites a metric name so the run it came from survives a
+// merged exposition: name -> name{run="x"}, name{a="b"} ->
+// name{run="x",a="b"}. Histogram suffix surgery is handled downstream by
+// WritePrometheus, which splits labels off the full name.
+func injectRunLabel(name, run string) string {
+	if run == "" {
+		return name
+	}
+	label := `run="` + run + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "{" + label + "," + name[i+1:]
+	}
+	return name + "{" + label + "}"
+}
+
+// MergedSnapshot flattens every run's registry into one snapshot with
+// run="name" labels injected, suitable for a single Prometheus scrape
+// covering all concurrent runs. Metric names are disjoint across runs by
+// construction (the label differs), so the merge never collides.
+func (rr *RunRegistry) MergedSnapshot() obs.Snapshot {
+	names := rr.Names()
+	sort.Strings(names)
+	merged := obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]obs.HistogramSnapshot{},
+	}
+	for _, name := range names {
+		r, ok := rr.Lookup(name)
+		if !ok {
+			continue
+		}
+		s := r.Registry.Snapshot()
+		for k, v := range s.Counters {
+			merged.Counters[injectRunLabel(k, name)] = v
+		}
+		for k, v := range s.Gauges {
+			merged.Gauges[injectRunLabel(k, name)] = v
+		}
+		for k, v := range s.Histograms {
+			merged.Histograms[injectRunLabel(k, name)] = v
+		}
+	}
+	return merged
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// Server is the observability HTTP surface of one ALS process. Zero
+// dependencies beyond the standard library; embed it into a daemon with
+// Start or mount Handler() wherever an http.ServeMux fits.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text: process-wide registry unlabelled,
+//	                every named run's registry with run="name" injected
+//	/metrics.json   the same data as structured JSON
+//	/healthz        liveness: 200 as long as the process serves
+//	/readyz         readiness: 503 until SetReady(true)
+//	/runs           JSON listing of named runs and their lifecycle state
+//	/flight         flight-recorder dump of one run (?run=NAME)
+//	/events         live SSE stream of one run's flow events (?run=NAME,
+//	                ?limit=N to close after N events)
+//	/debug/pprof/   the standard profiling surface
+type Server struct {
+	Runs *RunRegistry
+	// Process, when non-nil, is exposed unlabelled alongside the run
+	// registries (defaults to obs.Default() in New).
+	Process *obs.Registry
+	// Heartbeat is the SSE keep-alive comment interval (default 15s).
+	Heartbeat time.Duration
+
+	ready atomic.Bool
+	mux   *http.ServeMux
+}
+
+// New returns a server over the given run registry (a nil rr gets a fresh
+// one), exposing obs.Default() as the process-wide registry.
+func New(rr *RunRegistry) *Server {
+	if rr == nil {
+		rr = NewRunRegistry()
+	}
+	s := &Server{Runs: rr, Process: obs.Default(), Heartbeat: 15 * time.Second}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler for mounting elsewhere.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips the /readyz probe; start serving before the job queue is
+// accepting and call SetReady(true) once it is.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Start listens on addr (host:port; ":0" picks an ephemeral port) and
+// serves in a background goroutine. It returns the bound address and a
+// shutdown function. The caller prints the address — tests and the CI
+// smoke script parse it to find an ephemeral port.
+func (s *Server) Start(addr string) (net.Addr, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: s.mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Shutdown, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.Process != nil {
+		_ = s.Process.Snapshot().WritePrometheus(w)
+	}
+	_ = s.Runs.MergedSnapshot().WritePrometheus(w)
+}
+
+// metricsJSON is the /metrics.json document shape, shared with
+// cmd/observe's -url reader.
+type metricsJSON struct {
+	Process obs.Snapshot            `json:"process"`
+	Runs    map[string]obs.Snapshot `json:"runs,omitempty"`
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	doc := metricsJSON{Runs: map[string]obs.Snapshot{}}
+	if s.Process != nil {
+		doc.Process = s.Process.Snapshot()
+	}
+	for _, name := range s.Runs.Names() {
+		if run, ok := s.Runs.Lookup(name); ok {
+			doc.Runs[name] = run.Registry.Snapshot()
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Runs.Summaries())
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRunParam(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = run.Flight.WriteJSON(w)
+}
+
+// lookupRunParam resolves the ?run= query parameter; with exactly one run
+// registered the parameter may be omitted.
+func (s *Server) lookupRunParam(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	name := r.URL.Query().Get("run")
+	if name == "" {
+		names := s.Runs.Names()
+		if len(names) != 1 {
+			http.Error(w, "run parameter required (have "+strconv.Itoa(len(names))+" runs)",
+				http.StatusBadRequest)
+			return nil, false
+		}
+		name = names[0]
+	}
+	run, ok := s.Runs.Lookup(name)
+	if !ok {
+		http.Error(w, "unknown run "+name, http.StatusNotFound)
+		return nil, false
+	}
+	return run, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

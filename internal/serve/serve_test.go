@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(NewRunRegistry())
+	s.Heartbeat = 20 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, ts := newTestServer(t)
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetReady = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("/readyz after SetReady = %d, want 200", code)
+	}
+}
+
+func TestMetricsMergesRunsWithLabels(t *testing.T) {
+	s, ts := newTestServer(t)
+	a := s.Runs.Get("alpha")
+	b := s.Runs.Get("beta")
+	a.Registry.Counter("sasimi_accepts_total").Add(3)
+	a.Registry.Counter(`sasimi_phase_ns{phase="simulate"}`).Add(42)
+	b.Registry.Counter("sasimi_accepts_total").Add(5)
+	b.Registry.Gauge("sasimi_er_ci_hi").Set(0.04)
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`sasimi_accepts_total{run="alpha"} 3`,
+		`sasimi_accepts_total{run="beta"} 5`,
+		`sasimi_phase_ns{run="alpha",phase="simulate"} 42`,
+		`sasimi_er_ci_hi{run="beta"} 0.04`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Process-wide substrate counters are exposed unlabelled.
+	if !strings.Contains(body, "par_pool_runs_total") {
+		t.Fatal("/metrics missing process-wide registry")
+	}
+}
+
+func TestMetricsJSONDocument(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Runs.Get("r1").Registry.Counter("sasimi_iterations_total").Add(7)
+	code, body := get(t, ts.URL+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var doc struct {
+		Process obs.Snapshot            `json:"process"`
+		Runs    map[string]obs.Snapshot `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Runs["r1"].Counters["sasimi_iterations_total"] != 7 {
+		t.Fatalf("run counter lost in /metrics.json: %+v", doc.Runs["r1"])
+	}
+	if len(doc.Process.Counters) == 0 {
+		t.Fatal("process snapshot empty")
+	}
+}
+
+func TestRunsListingAndLifecycle(t *testing.T) {
+	s, ts := newTestServer(t)
+	r1 := s.Runs.Get("job-1")
+	r1.SetState(RunActive, "")
+	r2 := s.Runs.Get("job-2")
+	r2.SetState(RunFailed, "boom")
+
+	code, body := get(t, ts.URL+"/runs")
+	if code != 200 {
+		t.Fatalf("/runs = %d", code)
+	}
+	var list []RunSummary
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Name != "job-1" || list[1].Name != "job-2" {
+		t.Fatalf("listing order wrong: %+v", list)
+	}
+	if list[0].State != "active" || list[1].State != "failed" || list[1].Error != "boom" {
+		t.Fatalf("lifecycle state lost: %+v", list)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	run := s.Runs.Get("solo")
+	tr := run.Tracer()
+	for i := 1; i <= 3; i++ {
+		tr.OnIteration(obs.IterationInfo{Iter: i, Candidates: 10 * i})
+	}
+	tr.OnAccept(obs.AcceptInfo{Iter: 3, Target: "g7", M: 2000,
+		ErrCI: obs.Interval{Lo: 0.01, Hi: 0.03, Level: 0.95}, CIAdequate: true})
+
+	// Single run: ?run may be omitted.
+	code, body := get(t, ts.URL+"/flight")
+	if code != 200 {
+		t.Fatalf("/flight = %d", code)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.TotalIterations != 3 || len(dump.Iterations) != 3 {
+		t.Fatalf("flight dump iterations wrong: %+v", dump)
+	}
+	if len(dump.Accepts) != 1 || dump.Accepts[0].M != 2000 || dump.Accepts[0].ErrCI.Hi != 0.03 {
+		t.Fatalf("accept confidence fields lost in flight dump: %+v", dump.Accepts)
+	}
+
+	if code, _ := get(t, ts.URL+"/flight?run=nope"); code != http.StatusNotFound {
+		t.Fatalf("/flight?run=nope = %d, want 404", code)
+	}
+	s.Runs.Get("second")
+	if code, _ := get(t, ts.URL+"/flight"); code != http.StatusBadRequest {
+		t.Fatalf("/flight with two runs and no ?run = %d, want 400", code)
+	}
+}
+
+// TestEventsStreamDeliversSSE subscribes over real HTTP, publishes through
+// the tracer, and checks framed events arrive with sequence numbers and
+// the limit parameter closes the stream.
+func TestEventsStreamDeliversSSE(t *testing.T) {
+	s, ts := newTestServer(t)
+	run := s.Runs.Get("live")
+
+	resp, err := http.Get(ts.URL + "/events?run=live&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Publish from another goroutine until the subscriber is attached and
+	// five events have gone out.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			run.Stream.OnIteration(obs.IterationInfo{Iter: i})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	sc := bufio.NewScanner(resp.Body)
+	var events, dataLines int
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: iter") {
+			events++
+		}
+		if strings.HasPrefix(line, "data: ") {
+			dataLines++
+			var ev struct {
+				Ev   string `json:"ev"`
+				Seq  uint64 `json:"seq"`
+				Run  string `json:"run"`
+				Data struct {
+					Iter int `json:"iter"`
+				} `json:"data"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			if ev.Ev != "iter" || ev.Seq == 0 || ev.Run != "live" || ev.Data.Iter == 0 {
+				t.Fatalf("malformed event %+v", ev)
+			}
+		}
+	}
+	// limit=5 must close the body after exactly 5 events.
+	if events != 5 || dataLines != 5 {
+		t.Fatalf("got %d events / %d data lines, want 5/5", events, dataLines)
+	}
+}
+
+// TestEventsHeartbeat checks an idle stream still sends keep-alive
+// comments.
+func TestEventsHeartbeat(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Runs.Get("idle")
+	ctxURL := ts.URL + "/events?run=idle"
+	req, _ := http.NewRequest("GET", ctxURL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(2 * time.Second)
+	var got string
+	for time.Now().Before(deadline) {
+		n, err := resp.Body.Read(buf)
+		got += string(buf[:n])
+		if strings.Contains(got, ": heartbeat") {
+			return
+		}
+		if err != nil {
+			break
+		}
+	}
+	t.Fatalf("no heartbeat on idle stream, got %q", got)
+}
+
+func TestPprofSurface(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get(t, ts.URL+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestInjectRunLabel(t *testing.T) {
+	cases := []struct{ name, run, want string }{
+		{"m_total", "x", `m_total{run="x"}`},
+		{`m{a="b"}`, "x", `m{run="x",a="b"}`},
+		{"m", "", "m"},
+	}
+	for _, c := range cases {
+		if got := injectRunLabel(c.name, c.run); got != c.want {
+			t.Fatalf("injectRunLabel(%q,%q) = %q, want %q", c.name, c.run, got, c.want)
+		}
+	}
+}
+
+func TestStartOnEphemeralPort(t *testing.T) {
+	s := New(nil)
+	addr, shutdown, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := contextWithTimeout(t)
+		defer cancel()
+		if err := shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if code, _ := get(t, "http://"+addr.String()+"/healthz"); code != 200 {
+		t.Fatalf("healthz over real listener = %d", code)
+	}
+}

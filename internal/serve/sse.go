@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleEvents streams one run's live flow events as Server-Sent Events.
+// Each event is rendered as
+//
+//	event: <kind>
+//	data: {"ev":...,"seq":...,"run":...,"data":{...}}
+//
+// Query parameters:
+//
+//	run=NAME   which run to stream (optional with exactly one run)
+//	limit=N    close the stream after N events (0 = until disconnect);
+//	           deterministic consumption for tests and smoke scripts
+//	buf=N      subscriber buffer size (default obs.DefaultSubscribeBuffer);
+//	           events beyond a full buffer are dropped, visible as seq gaps
+//
+// The stream never blocks the flow: a slow consumer loses events rather
+// than stalling synthesis (obs.StreamTracer's drop-on-full contract).
+// Heartbeat comments flow every Server.Heartbeat so intermediaries don't
+// reap an idle connection.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRunParam(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	q := r.URL.Query()
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	buf, _ := strconv.Atoi(q.Get("buf"))
+
+	events, cancel := run.Stream.Subscribe(buf)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	hb := s.Heartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if _, err := w.Write([]byte(": heartbeat\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case ev := <-events:
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := w.Write([]byte("event: " + ev.Kind.String() + "\ndata: ")); err != nil {
+				return
+			}
+			if _, err := w.Write(payload); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+			sent++
+			if limit > 0 && sent >= limit {
+				return
+			}
+		}
+	}
+}

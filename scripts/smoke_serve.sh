@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Smoke test for the live observability service: start alsd on an
+# ephemeral port with demo jobs queued, then exercise every endpoint the
+# README documents — health/readiness probes, the Prometheus and JSON
+# metrics surfaces, a bounded SSE event stream, and pprof — and shut the
+# daemon down cleanly. CI runs this after the unit suites; it is also a
+# quick local check: ./scripts/smoke_serve.sh
+set -euo pipefail
+
+REPEAT="${REPEAT:-2}"
+DEMO="${DEMO:-mul4}"
+LOG="$(mktemp)"
+trap 'kill "$ALSD_PID" 2>/dev/null || true; wait "$ALSD_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+go build -o /tmp/alsd ./cmd/alsd
+/tmp/alsd -addr 127.0.0.1:0 -repeat "$REPEAT" -demo "$DEMO" >"$LOG" 2>&1 &
+ALSD_PID=$!
+
+# The daemon prints "alsd: listening on ADDR" once the listener is bound.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^alsd: listening on //p' "$LOG" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$ALSD_PID" 2>/dev/null || { echo "alsd exited early:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "alsd never reported its address:"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "smoke_serve: alsd at $BASE"
+
+curl -fsS "$BASE/healthz" >/dev/null
+curl -fsS "$BASE/readyz" >/dev/null
+
+# Queue two c880 jobs: "warm" keeps the sequential runner busy for a
+# while, so subscribing to the still-pending "smoke" run right after the
+# 202 is guaranteed to land before its flow starts — alsd registers a run
+# at enqueue time exactly so subscribers can attach early. Then stream 10
+# SSE events from it. curl exits non-zero when the server closes the
+# stream after ?limit, so only the count is checked.
+for NAME in warm smoke; do
+    curl -fsS -X POST "$BASE/jobs" \
+        -d "{\"name\":\"$NAME\",\"circuit\":\"c880\",\"threshold\":0.05,\"m\":1024}" >/dev/null
+done
+EVENTS="$(curl -sS --max-time 60 "$BASE/events?run=smoke&limit=10" | grep -c '^event: ' || true)"
+[ "$EVENTS" -eq 10 ] || { echo "expected 10 SSE events, got $EVENTS"; cat "$LOG"; exit 1; }
+echo "smoke_serve: streamed $EVENTS SSE events"
+
+# Wait for every job (demos + warm + smoke) to finish, then check the
+# merged Prometheus scrape carries run-labelled flow metrics.
+WANT=$((REPEAT + 2))
+for _ in $(seq 1 300); do
+    DONE="$(grep -c '^alsd: run .* done' "$LOG" || true)"
+    [ "$DONE" -ge "$WANT" ] && break
+    kill -0 "$ALSD_PID" 2>/dev/null || { echo "alsd died mid-run:"; cat "$LOG"; exit 1; }
+    sleep 0.2
+done
+[ "$DONE" -ge "$WANT" ] || { echo "queued jobs never finished:"; cat "$LOG"; exit 1; }
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q 'sasimi_accepts_total{run="demo-1"}' \
+    || { echo "merged scrape is missing run-labelled metrics:"; echo "$METRICS" | head -40; exit 1; }
+JSONDOC="$(curl -fsS "$BASE/metrics.json")"
+echo "$JSONDOC" | grep -q '"runs"' \
+    || { echo "/metrics.json is missing the runs document"; exit 1; }
+FLIGHT="$(curl -fsS "$BASE/flight?run=demo-1")"
+echo "$FLIGHT" | grep -q '"total_accepts"' \
+    || { echo "/flight dump is missing accept totals"; exit 1; }
+curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null
+PPROF="$(curl -fsS "$BASE/debug/pprof/goroutine?debug=1")"
+echo "$PPROF" | grep -q goroutine \
+    || { echo "pprof goroutine profile unavailable"; exit 1; }
+
+kill -TERM "$ALSD_PID"
+wait "$ALSD_PID" 2>/dev/null || true
+grep -q '^alsd: shutting down' "$LOG" || { echo "no clean shutdown message:"; cat "$LOG"; exit 1; }
+echo "smoke_serve: OK"

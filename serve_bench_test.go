@@ -1,0 +1,85 @@
+package batchals
+
+// BenchmarkStreamTracerOverhead measures what live observability costs a
+// flow: the full c880 batch-estimation flow under a nil tracer versus the
+// same flow publishing into a StreamTracer with one connected-but-idle
+// SSE-style subscriber (attached, never read — the worst case for a
+// non-blocking fan-out, since every publish walks the subscriber map and
+// hits the full channel's drop path). The stream sub-benchmark reports
+// overhead_pct against a nil-tracer baseline measured in the same
+// process; the serving layer's budget is <=5%, recorded in
+// BENCH_pr4.json. Results are bit-identical either way, pinned by
+// internal/serve's TestServedFlowIsBitIdentical.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"batchals/internal/obs"
+)
+
+// streamOvBaseline memoises the nil-tracer wall time of the benchmark's
+// workload so the stream sub-benchmark's overhead_pct has a denominator
+// measured on the same hardware in the same process.
+var streamOvBaseline struct {
+	once sync.Once
+	ns   float64
+}
+
+const (
+	streamOvPatterns  = 1024
+	streamOvThreshold = 0.05
+)
+
+func streamOvFlowOnce(b *testing.B, golden *Network, tr Tracer) {
+	res, err := Approximate(golden, Options{
+		Metric:      ErrorRate,
+		Threshold:   streamOvThreshold,
+		NumPatterns: streamOvPatterns,
+		Seed:        1,
+		Tracer:      tr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.NumIterations == 0 {
+		b.Fatal("flow accepted nothing on c880; the tracer had no events to publish")
+	}
+}
+
+func BenchmarkStreamTracerOverhead(b *testing.B) {
+	golden, err := Benchmark("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	streamOvBaseline.once.Do(func() {
+		streamOvFlowOnce(b, golden, nil) // warm caches so the baseline is not a cold start
+		start := time.Now()
+		streamOvFlowOnce(b, golden, nil)
+		streamOvBaseline.ns = float64(time.Since(start).Nanoseconds())
+	})
+
+	b.Run("tracer=nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			streamOvFlowOnce(b, golden, nil)
+		}
+	})
+
+	b.Run("tracer=stream", func(b *testing.B) {
+		stream := obs.NewStreamTracer("bench")
+		events, cancel := stream.Subscribe(16) // connected, never read
+		defer cancel()
+		_ = events
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOvFlowOnce(b, golden, stream)
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if streamOvBaseline.ns > 0 {
+			b.ReportMetric(100*(perOp-streamOvBaseline.ns)/streamOvBaseline.ns, "overhead_pct")
+		}
+	})
+}
