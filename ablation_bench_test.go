@@ -15,6 +15,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
 )
@@ -111,8 +112,14 @@ func BenchmarkAblationSimilarityCap(b *testing.B) {
 		b.Run(benchName("cap", int(capv*100)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := sasimi.Run(golden, sasimi.Config{
-					Metric: core.MetricER, Threshold: 0.03, NumPatterns: 1000,
-					Seed: 1, Estimator: sasimi.EstimatorBatch, SimilarityCap: capv,
+					Budget: flow.Budget{
+						Metric:      core.MetricER,
+						Threshold:   0.03,
+						NumPatterns: 1000,
+						Seed:        1,
+					},
+					Estimator:     sasimi.EstimatorBatch,
+					SimilarityCap: capv,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -134,8 +141,14 @@ func BenchmarkAblationVerifyTopK(b *testing.B) {
 		b.Run(benchName("K", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := sasimi.Run(golden, sasimi.Config{
-					Metric: core.MetricER, Threshold: 0.03, NumPatterns: 1000,
-					Seed: 1, Estimator: sasimi.EstimatorBatch, VerifyTopK: k,
+					Budget: flow.Budget{
+						Metric:      core.MetricER,
+						Threshold:   0.03,
+						NumPatterns: 1000,
+						Seed:        1,
+					},
+					Estimator:  sasimi.EstimatorBatch,
+					VerifyTopK: k,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -35,6 +35,7 @@
 package batchals
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -48,9 +49,22 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
+)
+
+// Typed validation sentinels: every flow entry point wraps these with
+// context, so callers can branch with errors.Is regardless of which flow
+// produced the error.
+var (
+	// ErrBadThreshold marks a threshold outside the metric's valid range.
+	ErrBadThreshold = flow.ErrBadThreshold
+	// ErrNoPatterns marks an empty Monte Carlo sample.
+	ErrNoPatterns = flow.ErrNoPatterns
+	// ErrUnknownBenchmark marks a Benchmark name that is not registered.
+	ErrUnknownBenchmark = bench.ErrUnknownBenchmark
 )
 
 // Network is the gate-level circuit representation used throughout the
@@ -119,7 +133,26 @@ type Options struct {
 	// acyclicity) after every accepted substitution, turning latent
 	// netlist-surgery bugs into immediate named-cycle errors.
 	CheckInvariants bool
+	// Incremental selects the incremental iteration engine (the default):
+	// after each accepted substitution the flow resimulates only the
+	// edit's fanout cones and refreshes only the dirty region of the CPM,
+	// instead of rebuilding everything from scratch. Both settings are
+	// bit-identical; IncrementalOff is an escape hatch and the reference
+	// side of the differential tests.
+	Incremental IncrementalMode
 }
+
+// IncrementalMode switches the incremental iteration engine (re-exported
+// from internal/sasimi).
+type IncrementalMode = sasimi.IncrementalMode
+
+// Incremental engine modes: Auto (zero value) and On enable it, Off forces
+// the per-iteration full rebuild.
+const (
+	IncrementalAuto = sasimi.IncrementalAuto
+	IncrementalOn   = sasimi.IncrementalOn
+	IncrementalOff  = sasimi.IncrementalOff
+)
 
 // Tracer receives flow events (re-exported from internal/obs).
 type Tracer = obs.Tracer
@@ -147,19 +180,30 @@ type Result = sasimi.Result
 // of golden and returns the approximate circuit whose measured error stays
 // within opts.Threshold.
 func Approximate(golden *Network, opts Options) (*Result, error) {
-	return sasimi.Run(golden, sasimi.Config{
-		Metric:          opts.Metric,
-		Threshold:       opts.Threshold,
+	return ApproximateContext(context.Background(), golden, opts)
+}
+
+// ApproximateContext is Approximate with cancellation: the flow checks ctx
+// at iteration boundaries and inside the parallel gather/score fan-outs,
+// and returns ctx.Err() alongside the consistent partial result (accepted
+// substitutions up to the cancellation point).
+func ApproximateContext(ctx context.Context, golden *Network, opts Options) (*Result, error) {
+	return sasimi.RunContext(ctx, golden, sasimi.Config{
+		Budget: flow.Budget{
+			Metric:        opts.Metric,
+			Threshold:     opts.Threshold,
+			NumPatterns:   opts.NumPatterns,
+			Seed:          opts.Seed,
+			MaxIterations: opts.MaxIterations,
+		},
 		Estimator:       opts.Estimator,
-		NumPatterns:     opts.NumPatterns,
-		Seed:            opts.Seed,
 		Workers:         opts.Workers,
 		KeepTrace:       opts.KeepTrace,
-		MaxIterations:   opts.MaxIterations,
 		VerifyTopK:      opts.VerifyTopK,
 		Tracer:          opts.Tracer,
 		Metrics:         opts.Metrics,
 		CheckInvariants: opts.CheckInvariants,
+		Incremental:     opts.Incremental,
 	})
 }
 

@@ -2,6 +2,8 @@ package batchals
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -99,5 +101,78 @@ func TestFacadeAEM(t *testing.T) {
 	}
 	if len(res.Iterations) != res.NumIterations {
 		t.Fatal("trace length mismatch")
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	if _, err := Benchmark("not-a-benchmark"); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("got %v, want ErrUnknownBenchmark", err)
+	}
+	golden, err := Benchmark("rca8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Approximate(golden, Options{Threshold: -1}); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("got %v, want ErrBadThreshold", err)
+	}
+	if _, err := Approximate(golden, Options{Threshold: 0.1, NumPatterns: -5}); !errors.Is(err, ErrNoPatterns) {
+		t.Fatalf("got %v, want ErrNoPatterns", err)
+	}
+}
+
+func TestFacadeApproximateContext(t *testing.T) {
+	golden, err := Benchmark("rca8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ApproximateContext(ctx, golden, Options{Threshold: 0.05, NumPatterns: 500})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res == nil || res.NumIterations != 0 {
+		t.Fatal("cancelled run must return the empty partial result")
+	}
+	// An un-cancelled context behaves exactly like Approximate.
+	got, err := ApproximateContext(context.Background(), golden, Options{
+		Threshold: 0.05, NumPatterns: 1000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Approximate(golden, Options{Threshold: 0.05, NumPatterns: 1000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalArea != want.FinalArea || got.NumIterations != want.NumIterations {
+		t.Fatal("ApproximateContext diverges from Approximate")
+	}
+}
+
+func TestFacadeIncrementalModes(t *testing.T) {
+	golden, err := Benchmark("mul4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Metric: ErrorRate, Threshold: 0.03, NumPatterns: 1500, Seed: 1, KeepTrace: true}
+	on := base
+	on.Incremental = IncrementalOn
+	off := base
+	off.Incremental = IncrementalOff
+	a, err := Approximate(golden, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Approximate(golden, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalArea != b.FinalArea || a.FinalError != b.FinalError || a.NumIterations != b.NumIterations {
+		t.Fatalf("incremental (%v/%v/%d) and full rebuild (%v/%v/%d) diverge",
+			a.FinalArea, a.FinalError, a.NumIterations, b.FinalArea, b.FinalError, b.NumIterations)
+	}
+	if a.Approx.Dump() != b.Approx.Dump() {
+		t.Fatal("incremental and full rebuild produced different circuits")
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"batchals"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/serve"
 	"batchals/internal/snap"
@@ -49,6 +50,7 @@ func main() {
 		patterns    = flag.Int("m", 10000, "Monte Carlo pattern count")
 		seed        = flag.Int64("seed", 0, "random seed")
 		workers     = flag.Int("workers", 0, "worker pool size for the sasimi flow (0 = all CPUs, 1 = sequential; results are bit-identical at any count)")
+		incremental = flag.Bool("incremental", true, "carry simulation/CPM state across sasimi iterations (cone resimulation + dirty-region CPM refresh); false rebuilds from scratch each iteration — results are bit-identical either way")
 		outFile     = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
 		iters       = flag.Bool("iters", false, "print every accepted substitution")
 		checkInv    = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
@@ -85,6 +87,11 @@ func main() {
 		KeepTrace:       *iters,
 		VerifyTopK:      *verifyTopK,
 		CheckInvariants: *checkInv,
+	}
+	if *incremental {
+		opts.Incremental = batchals.IncrementalOn
+	} else {
+		opts.Incremental = batchals.IncrementalOff
 	}
 	switch strings.ToLower(*metricFlag) {
 	case "er":
@@ -214,11 +221,13 @@ func main() {
 		finishObs(res.Phases)
 	case "snap":
 		res, err := snap.Run(golden, snap.Config{
-			Metric:      opts.Metric,
-			Threshold:   opts.Threshold,
-			NumPatterns: opts.NumPatterns,
-			Seed:        opts.Seed,
-			UseBatch:    opts.Estimator == batchals.Batch,
+			Budget: flow.Budget{
+				Metric:      opts.Metric,
+				Threshold:   opts.Threshold,
+				NumPatterns: opts.NumPatterns,
+				Seed:        opts.Seed,
+			},
+			UseBatch: opts.Estimator == batchals.Batch,
 		})
 		if err != nil {
 			fatal(err)
@@ -230,11 +239,13 @@ func main() {
 		finishObs(obs.PhaseReport{})
 	case "wu":
 		res, err := wu.Run(golden, wu.Config{
-			Metric:      opts.Metric,
-			Threshold:   opts.Threshold,
-			NumPatterns: opts.NumPatterns,
-			Seed:        opts.Seed,
-			UseBatch:    opts.Estimator == batchals.Batch,
+			Budget: flow.Budget{
+				Metric:      opts.Metric,
+				Threshold:   opts.Threshold,
+				NumPatterns: opts.NumPatterns,
+				Seed:        opts.Seed,
+			},
+			UseBatch: opts.Estimator == batchals.Batch,
 		})
 		if err != nil {
 			fatal(err)

@@ -18,6 +18,7 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -29,10 +30,12 @@ func main() {
 	fmt.Printf("circuit: %s (%d gates)\n", golden.Name, golden.NumGates())
 
 	cfg := sasimi.Config{
-		Metric:      core.MetricER,
-		Threshold:   1, // estimation only
-		NumPatterns: 4000,
-		Seed:        7,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   1, // estimation only
+			NumPatterns: 4000,
+			Seed:        7,
+		},
 	}
 
 	// Batch estimation of every candidate: one simulation + one CPM.

@@ -9,6 +9,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
 )
@@ -194,7 +195,12 @@ func TestFlowRunsOnAIGMappedNetwork(t *testing.T) {
 	}
 	mapped := g.ToNetwork()
 	res, err := sasimi.Run(mapped, sasimi.Config{
-		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 2000, Seed: 3,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 2000,
+			Seed:        3,
+		},
 		Estimator: sasimi.EstimatorBatch,
 	})
 	if err != nil {

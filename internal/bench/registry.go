@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -43,11 +44,15 @@ func mustISCAS(name string) func() *circuit.Network {
 	}
 }
 
+// ErrUnknownBenchmark marks a ByName lookup that matched no registered
+// circuit; test with errors.Is.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
 // ByName builds the named benchmark circuit. Names returns the full list.
 func ByName(name string) (*circuit.Network, error) {
 	gen, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown benchmark %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("bench: %w %q (known: %v)", ErrUnknownBenchmark, name, Names())
 	}
 	return gen(), nil
 }

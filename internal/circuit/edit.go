@@ -102,7 +102,17 @@ func (n *Network) deleteNode(id NodeID) {
 // and recursively removes any fanins that become dead, except primary
 // inputs, which are never swept. It returns the number of nodes removed.
 func (n *Network) SweepFrom(start NodeID) int {
-	removed := 0
+	removed, _ := n.SweepFromCollect(start)
+	return len(removed)
+}
+
+// SweepFromCollect is SweepFrom reporting identity, not just count: it
+// returns the ids of the removed nodes and the surviving boundary — the
+// live nodes that lost at least one fanout edge into the removed set.
+// Incremental consumers (the iteration engine's CPM refresh and candidate
+// cache) need exactly these two sets to bound their dirty regions.
+func (n *Network) SweepFromCollect(start NodeID) (removed, boundary []NodeID) {
+	var faninsSeen []NodeID // fanins of removed nodes, captured pre-delete
 	stack := []NodeID{start}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
@@ -115,10 +125,20 @@ func (n *Network) SweepFrom(start NodeID) int {
 		}
 		fanins := append([]NodeID(nil), n.nodes[id].Fanins...)
 		n.deleteNode(id)
-		removed++
+		removed = append(removed, id)
+		faninsSeen = append(faninsSeen, fanins...)
 		stack = append(stack, fanins...)
 	}
-	return removed
+	// The boundary is every captured fanin that survived the sweep,
+	// deduplicated in first-seen order.
+	seen := make(map[NodeID]bool, len(faninsSeen))
+	for _, f := range faninsSeen {
+		if !seen[f] && n.IsLive(f) {
+			seen[f] = true
+			boundary = append(boundary, f)
+		}
+	}
+	return removed, boundary
 }
 
 // Sweep removes all dead gates and constants anywhere in the network

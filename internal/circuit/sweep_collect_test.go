@@ -1,0 +1,73 @@
+package circuit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepFromCollectIdentity pins the removed/boundary sets: on a chain
+// g3->g2->g1 rewired away, the whole chain is removed and the boundary is
+// the surviving fanins that lost edges into it (the primary inputs).
+func TestSweepFromCollectIdentity(t *testing.T) {
+	n := New("chain")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(KindAnd, a, b)
+	g2 := n.AddGate(KindNot, g1)
+	g3 := n.AddGate(KindNot, g2)
+	n.AddOutput("o", g3)
+
+	n.ReplaceNode(g3, a)
+	removed, boundary := n.SweepFromCollect(g3)
+	if !reflect.DeepEqual(removed, []NodeID{g3, g2, g1}) {
+		t.Fatalf("removed %v, want [%d %d %d]", removed, g3, g2, g1)
+	}
+	// Boundary: a and b survive and each lost a fanout edge into the
+	// removed set (a fed g1; b fed g1; g1, g2 were themselves removed).
+	if !reflect.DeepEqual(boundary, []NodeID{a, b}) {
+		t.Fatalf("boundary %v, want [%d %d]", boundary, a, b)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepFromCollectPartial checks a sweep that stops at a shared node:
+// nodes with surviving fanouts are kept and show up as boundary instead.
+func TestSweepFromCollectPartial(t *testing.T) {
+	n := New("shared")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	shared := n.AddGate(KindAnd, a, b)
+	dead := n.AddGate(KindNot, shared)
+	keep := n.AddGate(KindNot, shared)
+	n.AddOutput("o1", dead)
+	n.AddOutput("o2", keep)
+
+	// Rewire o1 onto keep: dead loses its only output binding.
+	n.ReplaceNode(dead, keep)
+	removed, boundary := n.SweepFromCollect(dead)
+	if !reflect.DeepEqual(removed, []NodeID{dead}) {
+		t.Fatalf("removed %v, want [%d]", removed, dead)
+	}
+	// shared survives (keep still reads it) and is the only boundary node.
+	if !reflect.DeepEqual(boundary, []NodeID{shared}) {
+		t.Fatalf("boundary %v, want [%d]", boundary, shared)
+	}
+	if !n.IsLive(shared) || !n.IsLive(keep) {
+		t.Fatal("surviving nodes were swept")
+	}
+}
+
+// TestSweepFromCollectNoop: sweeping a live, still-referenced node removes
+// nothing and reports empty sets.
+func TestSweepFromCollectNoop(t *testing.T) {
+	n := New("noop")
+	a := n.AddInput("a")
+	g := n.AddGate(KindNot, a)
+	n.AddOutput("o", g)
+	removed, boundary := n.SweepFromCollect(g)
+	if len(removed) != 0 || len(boundary) != 0 {
+		t.Fatalf("noop sweep removed %v boundary %v", removed, boundary)
+	}
+}

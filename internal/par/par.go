@@ -16,6 +16,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -173,6 +174,68 @@ func (p *Pool) Do(n int, fn func(worker, task int)) {
 	done.Wait()
 	p.wallNS.Add(int64(time.Since(start)))
 	statPoolRuns.Inc()
+}
+
+// DoCtx is Do with cooperative cancellation: it stops dispatching new
+// tasks once ctx is cancelled and returns ctx.Err() (nil if the whole
+// batch ran). Tasks already handed to workers run to completion — DoCtx
+// waits for them, so the happens-before guarantee of Do still holds for
+// every task that executed. The result state may therefore be partially
+// written on a non-nil return; callers are expected to abandon it.
+//
+// On a nil or single-worker pool, cancellation is checked before each
+// inline task.
+func (p *Pool) DoCtx(ctx context.Context, n int, fn func(worker, task int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if p == nil || p.workers == 1 || n == 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if p != nil {
+					p.wallNS.Add(int64(time.Since(start)))
+					statPoolRuns.Inc()
+				}
+				return err
+			}
+			if p != nil {
+				p.inflight.Add(1)
+			}
+			ts := time.Now()
+			fn(0, i)
+			if p != nil {
+				p.finishTask(0, time.Since(ts))
+			}
+		}
+		if p != nil {
+			p.wallNS.Add(int64(time.Since(start)))
+			statPoolRuns.Inc()
+		}
+		return nil
+	}
+	start := time.Now()
+	var done sync.WaitGroup
+	var err error
+	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		done.Add(1)
+		select {
+		case p.tasks <- task{fn: fn, idx: i, done: &done}:
+		case <-ctx.Done():
+			done.Done() // the task was never enqueued
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+	done.Wait()
+	p.wallNS.Add(int64(time.Since(start)))
+	statPoolRuns.Inc()
+	return err
 }
 
 // BusyNS returns the accumulated task execution time across all workers.

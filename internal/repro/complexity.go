@@ -8,6 +8,7 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/cell"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -38,10 +39,12 @@ func Complexity(opt Options) ([]ComplexityRow, error) {
 	for i, area := range sizes {
 		golden := bench.Synthetic(fmt.Sprintf("scale%d", i), 24, 8, area, int64(1000+i))
 		base := sasimi.Config{
-			Metric:      core.MetricER,
-			Threshold:   1, // estimation only; no feasibility pruning
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   1, // estimation only; no feasibility pruning
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
 		}
 
 		cfgB := base

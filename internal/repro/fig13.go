@@ -6,6 +6,7 @@ import (
 
 	"batchals/internal/bench"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -45,12 +46,14 @@ func Fig1(opt Options) (*Fig1Data, error) {
 		{sasimi.EstimatorLocal, &data.Baseline},
 	} {
 		res, err := sasimi.Run(golden, sasimi.Config{
-			Metric:      core.MetricER,
-			Threshold:   data.Threshold,
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
-			Estimator:   variant.est,
-			KeepTrace:   true,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   data.Threshold,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			Estimator: variant.est,
+			KeepTrace: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig1 %v: %w", variant.est, err)
@@ -144,12 +147,14 @@ func Fig3(opt Options) ([]Fig3Series, error) {
 		name := j.name
 		golden := benchOrDie(name, bench.ByName)
 		res, err := sasimi.Run(golden, sasimi.Config{
-			Metric:      core.MetricER,
-			Threshold:   j.threshold,
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
-			Estimator:   sasimi.EstimatorBatch,
-			KeepTrace:   true,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   j.threshold,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			Estimator: sasimi.EstimatorBatch,
+			KeepTrace: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s: %w", name, err)

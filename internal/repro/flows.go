@@ -7,6 +7,7 @@ import (
 
 	"batchals/internal/bench"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 	"batchals/internal/snap"
 	"batchals/internal/stoch"
@@ -45,8 +46,13 @@ func Flows(opt Options) ([]FlowsRow, error) {
 		row := FlowsRow{Circuit: name}
 
 		s1, err := sasimi.Run(golden, sasimi.Config{
-			Metric: core.MetricER, Threshold: threshold,
-			NumPatterns: opt.M, Seed: opt.Seed, Estimator: sasimi.EstimatorBatch,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   threshold,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			Estimator: sasimi.EstimatorBatch,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flows %s sasimi: %w", name, err)
@@ -54,8 +60,13 @@ func Flows(opt Options) ([]FlowsRow, error) {
 		row.SASIMIRatio, row.SASIMITime = s1.AreaRatio(), s1.TotalTime
 
 		s2, err := snap.Run(golden, snap.Config{
-			Metric: core.MetricER, Threshold: threshold,
-			NumPatterns: opt.M, Seed: opt.Seed, UseBatch: true,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   threshold,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			UseBatch: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flows %s snap: %w", name, err)
@@ -63,8 +74,13 @@ func Flows(opt Options) ([]FlowsRow, error) {
 		row.SnapRatio, row.SnapTime = s2.AreaRatio(), s2.TotalTime
 
 		s3, err := wu.Run(golden, wu.Config{
-			Metric: core.MetricER, Threshold: threshold,
-			NumPatterns: opt.M, Seed: opt.Seed, UseBatch: true,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   threshold,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			UseBatch: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flows %s wu: %w", name, err)
@@ -72,8 +88,11 @@ func Flows(opt Options) ([]FlowsRow, error) {
 		row.WuRatio, row.WuTime = s3.AreaRatio(), s3.TotalTime
 
 		s4, err := stoch.Run(golden, stoch.Config{
-			Metric: core.MetricER, Threshold: threshold,
-			NumPatterns: opt.M, Seed: opt.Seed, Moves: 150,
+			Metric:      core.MetricER,
+			Threshold:   threshold,
+			NumPatterns: opt.M,
+			Seed:        opt.Seed,
+			Moves:       150,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flows %s stoch: %w", name, err)

@@ -7,6 +7,7 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
 )
@@ -54,11 +55,13 @@ func Table1(opt Options) ([]Table1Row, error) {
 		golden := benchOrDie(j.circuit, bench.ByName)
 		for lvl, th := range j.levels {
 			res, err := sasimi.Run(golden, sasimi.Config{
-				Metric:      j.metric,
-				Threshold:   th,
-				NumPatterns: opt.M,
-				Seed:        opt.Seed,
-				Estimator:   sasimi.EstimatorBatch,
+				Budget: flow.Budget{
+					Metric:      j.metric,
+					Threshold:   th,
+					NumPatterns: opt.M,
+					Seed:        opt.Seed,
+				},
+				Estimator: sasimi.EstimatorBatch,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s level %d: %w", j.circuit, lvl, err)

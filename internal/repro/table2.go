@@ -7,6 +7,7 @@ import (
 
 	"batchals/internal/bench"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -39,10 +40,12 @@ func Table2(opt Options) ([]Table2Row, error) {
 	for _, name := range names {
 		golden := benchOrDie(name, bench.ByName)
 		base := sasimi.Config{
-			Metric:      core.MetricER,
-			Threshold:   0.01,
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.01,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
 		}
 		cfgFull := base
 		cfgFull.Estimator = sasimi.EstimatorFull

@@ -7,6 +7,7 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -49,11 +50,13 @@ func erSweep(name string, opt Options, est sasimi.EstimatorKind) (SweepSeries, f
 	var runs int
 	for _, th := range erThresholds {
 		res, err := sasimi.Run(golden, sasimi.Config{
-			Metric:      core.MetricER,
-			Threshold:   th,
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
-			Estimator:   est,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   th,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			Estimator: est,
 		})
 		if err != nil {
 			return s, 0, 0, fmt.Errorf("%s @ %.3f: %w", name, th, err)
@@ -206,11 +209,13 @@ func aemSweep(name string, opt Options, est sasimi.EstimatorKind) (SweepSeries, 
 	sum := 0.0
 	for _, rate := range aemRateThresholds {
 		res, err := sasimi.Run(golden, sasimi.Config{
-			Metric:      core.MetricAEM,
-			Threshold:   rate * maxVal,
-			NumPatterns: opt.M,
-			Seed:        opt.Seed,
-			Estimator:   est,
+			Budget: flow.Budget{
+				Metric:      core.MetricAEM,
+				Threshold:   rate * maxVal,
+				NumPatterns: opt.M,
+				Seed:        opt.Seed,
+			},
+			Estimator: est,
 		})
 		if err != nil {
 			return s, 0, fmt.Errorf("%s @ rate %.4f: %w", name, rate, err)

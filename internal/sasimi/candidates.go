@@ -2,7 +2,6 @@ package sasimi
 
 import (
 	"math/bits"
-	"sort"
 
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
@@ -177,21 +176,5 @@ func gatherCandidates(net *circuit.Network, vals *sim.Values, cfg *Config, arriv
 	}
 
 	// Deterministic order: most similar first, ties by larger gain, then ids.
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := &cands[i], &cands[j]
-		if a.DiffProb != b.DiffProb {
-			return a.DiffProb < b.DiffProb
-		}
-		if a.AreaGain != b.AreaGain {
-			return a.AreaGain > b.AreaGain
-		}
-		if a.Target != b.Target {
-			return a.Target < b.Target
-		}
-		return a.Sub < b.Sub
-	})
-	if cfg.MaxCandidates > 0 && len(cands) > cfg.MaxCandidates {
-		cands = cands[:cfg.MaxCandidates]
-	}
-	return cands
+	return sortAndCap(cands, cfg)
 }

@@ -9,6 +9,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/sim"
 )
@@ -32,8 +33,15 @@ func TestAcceptEventsCarryConfidence(t *testing.T) {
 	tr := &captureTracer{}
 	reg := obs.NewRegistry()
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: m, Seed: 7,
-		Estimator: EstimatorBatch, Tracer: tr, Metrics: reg,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: m,
+			Seed:        7,
+		},
+		Estimator: EstimatorBatch,
+		Tracer:    tr,
+		Metrics:   reg,
 	})
 	if res.NumIterations == 0 || len(tr.accepts) != res.NumIterations {
 		t.Fatalf("captured %d accepts, want %d", len(tr.accepts), res.NumIterations)
@@ -85,8 +93,14 @@ func TestAcceptEventsCarryConfidence(t *testing.T) {
 func TestAEMAcceptsCarryNoCI(t *testing.T) {
 	tr := &captureTracer{}
 	res := runOn(t, "rca8", Config{
-		Metric: core.MetricAEM, Threshold: 4, NumPatterns: 1000, Seed: 3,
-		Estimator: EstimatorFull, Tracer: tr,
+		Budget: flow.Budget{
+			Metric:      core.MetricAEM,
+			Threshold:   4,
+			NumPatterns: 1000,
+			Seed:        3,
+		},
+		Estimator: EstimatorFull,
+		Tracer:    tr,
 	})
 	if res.NumIterations == 0 {
 		t.Skip("AEM flow accepted nothing on rca8 at this threshold")
@@ -104,8 +118,14 @@ func TestAEMAcceptsCarryNoCI(t *testing.T) {
 func TestTracerOnlyRunsComputeAdequacy(t *testing.T) {
 	tr := &captureTracer{}
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 7,
-		Estimator: EstimatorBatch, Tracer: tr,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Estimator: EstimatorBatch,
+		Tracer:    tr,
 	})
 	if res.NumIterations == 0 {
 		t.Fatal("no accepts")
@@ -136,7 +156,7 @@ func TestIdleStreamSubscriberScoringAllocs(t *testing.T) {
 	est.prepare(ctx)
 
 	lib := cell.Default()
-	cfg := Config{Metric: core.MetricER, Threshold: 1}
+	cfg := Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 1}}
 	cfg.fillDefaults()
 	arrival := lib.NodeArrival(net)
 	cands := gatherCandidates(net, vals, &cfg, arrival, lib.GateDelay(circuit.KindNot))

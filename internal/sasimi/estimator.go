@@ -22,6 +22,8 @@
 package sasimi
 
 import (
+	"context"
+
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
@@ -61,6 +63,13 @@ type iterContext struct {
 	metric core.Metric
 	cpm    *core.CPM // non-nil for EstimatorBatch
 	pool   *par.Pool // nil or single-worker selects the sequential paths
+	// engine, when non-nil, owns the CPM across iterations: prepare asks it
+	// for the matrix (an incremental refresh after an accepted edit) instead
+	// of rebuilding from scratch.
+	engine *core.Engine
+	// goCtx carries the flow's cancellation into the pattern-sharded
+	// scoring dispatch; nil means not cancellable.
+	goCtx context.Context
 }
 
 // estimator evaluates the increased error of one candidate substitution.
@@ -78,7 +87,11 @@ type estimator interface {
 type batchEstimator struct{ ctx *iterContext }
 
 func (e *batchEstimator) prepare(ctx *iterContext) {
-	ctx.cpm = core.BuildParallel(ctx.net, ctx.vals, ctx.pool)
+	if ctx.engine != nil {
+		ctx.cpm = ctx.engine.CPM()
+	} else {
+		ctx.cpm = core.BuildParallel(ctx.net, ctx.vals, ctx.pool)
+	}
 	e.ctx = ctx
 }
 

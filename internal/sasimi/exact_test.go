@@ -7,6 +7,7 @@ import (
 	"batchals/internal/bitvec"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sim"
 )
 
@@ -28,10 +29,12 @@ func TestExactCertificateMatchesExactDelta(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		cfg := Config{
-			Metric:        core.MetricER,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				NumPatterns: 4096,
+				Seed:        11,
+			},
 			Estimator:     EstimatorBatch,
-			NumPatterns:   4096,
-			Seed:          11,
 			SimilarityCap: cap,
 		}
 		cands, err := EstimateAll(golden, golden.Clone(), cfg)
@@ -88,10 +91,12 @@ func TestExactFlagByEstimator(t *testing.T) {
 		{EstimatorLocal, false},
 	} {
 		cands, err := EstimateAll(golden, golden.Clone(), Config{
-			Metric:      core.MetricER,
-			Estimator:   tc.kind,
-			NumPatterns: 1024,
-			Seed:        3,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				NumPatterns: 1024,
+				Seed:        3,
+			},
+			Estimator: tc.kind,
 		})
 		if err != nil {
 			t.Fatalf("%v: %v", tc.kind, err)

@@ -1,7 +1,7 @@
 package sasimi
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,30 +10,57 @@ import (
 
 	"batchals/internal/analyze"
 	"batchals/internal/bitvec"
-	"batchals/internal/cell"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/par"
 	"batchals/internal/sim"
 )
 
+// IncrementalMode selects whether the flow carries simulation, error-state
+// and CPM results across iterations (cone-scoped resimulation plus
+// dirty-region CPM refresh) or rebuilds everything from scratch each
+// iteration. Both paths are bit-identical — the incremental engine is
+// purely a throughput knob, pinned by the differential suite — so the
+// default is on; IncrementalOff exists as an escape hatch and as the
+// reference side of the differential tests.
+type IncrementalMode int
+
+const (
+	// IncrementalAuto (the zero value) enables the incremental engine.
+	IncrementalAuto IncrementalMode = iota
+	// IncrementalOn explicitly enables the incremental engine.
+	IncrementalOn
+	// IncrementalOff forces the per-iteration full rebuild.
+	IncrementalOff
+)
+
+// String names the mode.
+func (m IncrementalMode) String() string {
+	switch m {
+	case IncrementalAuto:
+		return "auto"
+	case IncrementalOn:
+		return "on"
+	case IncrementalOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+func (m IncrementalMode) enabled() bool { return m != IncrementalOff }
+
 // Config parameterises one flow run. Zero values are filled with sensible
-// defaults by Run; only Threshold must be set by the caller.
+// defaults by Run; only Threshold must be set by the caller. The error
+// budget, sample size and run-length fields are the embedded flow.Budget
+// shared with the other iterative flows.
 type Config struct {
-	// Metric is the statistical error measure the Threshold constrains.
-	Metric core.Metric
-	// Threshold is the error budget: a fraction in [0,1] for ER, an
-	// absolute magnitude for AEM.
-	Threshold float64
+	flow.Budget
+
 	// Estimator chooses the per-candidate error estimation method.
 	Estimator EstimatorKind
-	// NumPatterns is the Monte Carlo sample size M (default 10000).
-	NumPatterns int
-	// Seed drives the pattern generator; the same seed reproduces the
-	// whole flow bit-for-bit.
-	Seed int64
 	// Workers sets the size of the pattern-sharded worker pool that runs
 	// simulation, CPM construction, candidate gathering and batch scoring
 	// concurrently. 0 (the default) selects runtime.NumCPU(); 1 forces the
@@ -41,6 +68,9 @@ type Config struct {
 	// count — see DESIGN.md §10 for the determinism argument — so Workers
 	// is purely a throughput knob.
 	Workers int
+	// Incremental selects the cross-iteration incremental engine (default
+	// on; see IncrementalMode).
+	Incremental IncrementalMode
 	// Patterns, when non-nil, overrides NumPatterns/Seed with a
 	// caller-provided (possibly non-uniform) pattern set.
 	Patterns *sim.Patterns
@@ -57,11 +87,6 @@ type Config struct {
 	// settles the winner among K ≪ T. Costs K cone resimulations per
 	// iteration; ignored by EstimatorFull (already exact).
 	VerifyTopK int
-	// MaxIterations stops the flow after this many accepted substitutions
-	// (0 = unlimited).
-	MaxIterations int
-	// Library provides area and delay figures (default cell.Default()).
-	Library *cell.Library
 	// KeepTrace records a per-iteration IterationRecord in the result.
 	KeepTrace bool
 	// Tracer, when non-nil, receives flow events: per-phase spans,
@@ -80,20 +105,22 @@ type Config struct {
 	// keep it on; production callers pay one DFS per accepted
 	// substitution if they opt in.
 	CheckInvariants bool
+
+	// verifyIncremental cross-checks the incremental engine against the
+	// full-rebuild computation every iteration: the incremental candidate
+	// list and (for the batch estimator) the refreshed CPM are compared
+	// against freshly rebuilt ones, and any divergence aborts the run with
+	// an error. Test-only paranoia hook — quadratically expensive.
+	verifyIncremental bool
 }
 
 func (cfg *Config) fillDefaults() {
-	if cfg.NumPatterns == 0 {
-		cfg.NumPatterns = 10000
-	}
+	cfg.Budget.FillDefaults()
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
 	if cfg.SimilarityCap == 0 {
 		cfg.SimilarityCap = 0.3
-	}
-	if cfg.Library == nil {
-		cfg.Library = cell.Default()
 	}
 }
 
@@ -212,6 +239,13 @@ type runObs struct {
 	erMetric  bool
 	threshold float64
 
+	// Incremental-engine accounting: nodes resimulated by cone-scoped
+	// resimulation, CPM rows recomputed by dirty-region refresh, and the
+	// per-refresh dirty fraction distribution.
+	resimNodes  *obs.Counter
+	refreshRows *obs.Counter
+	dirtyFrac   *obs.Histogram
+
 	// emitCands caches obs.WantsCandidates(tracer): when the attached
 	// tracer declines the candidate firehose (a StreamTracer or JSONLTracer
 	// with EmitCandidates off, a FlightRecorder), the scoring loop skips
@@ -240,6 +274,10 @@ func newRunObs(cfg *Config, net *circuit.Network) *runObs {
 		o.rollbacks = reg.Counter("sasimi_rollbacks_total")
 		o.acceptDrift = obs.NewDriftRecorder(reg, "sasimi_accept_drift")
 		o.verifyDrift = obs.NewDriftRecorder(reg, "sasimi_verify_drift")
+		o.resimNodes = reg.Counter("sasimi_resim_nodes_total")
+		o.refreshRows = reg.Counter("sasimi_cpm_refresh_rows_total")
+		o.dirtyFrac = reg.Histogram("sasimi_cpm_dirty_fraction",
+			[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1})
 		if o.erMetric {
 			o.conf = obs.NewRunStats(reg, "sasimi", cfg.Threshold)
 		}
@@ -274,6 +312,27 @@ func (o *runObs) verified(iter int, c *Candidate, batchDelta, exactDelta float64
 	}
 	if o.verifyDrift != nil {
 		o.verifyDrift.Record(batchDelta, exactDelta, wasExact)
+	}
+}
+
+// resimmed records one cone-scoped resimulation of n nodes.
+func (o *runObs) resimmed(n int) {
+	if o == nil || o.resimNodes == nil {
+		return
+	}
+	o.resimNodes.Add(int64(n))
+}
+
+// cpmRefreshed records one dirty-region CPM refresh.
+func (o *runObs) cpmRefreshed(stats core.RefreshStats) {
+	if o == nil {
+		return
+	}
+	if o.refreshRows != nil {
+		o.refreshRows.Add(int64(stats.DirtyRows))
+	}
+	if o.dirtyFrac != nil && stats.TotalRows > 0 {
+		o.dirtyFrac.Observe(float64(stats.DirtyRows) / float64(stats.TotalRows))
 	}
 }
 
@@ -353,10 +412,22 @@ func (o *runObs) rolledBack() {
 // Run executes the SASIMI flow on a copy of golden and returns the
 // approximate circuit with the measured error within cfg.Threshold.
 func Run(golden *circuit.Network, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), golden, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at every
+// iteration boundary and inside the pattern-sharded scoring dispatch. On
+// cancellation the flow returns the partial Result accumulated so far —
+// every accepted substitution up to the abort is intact and measured —
+// together with ctx.Err().
+func RunContext(goCtx context.Context, golden *circuit.Network, cfg Config) (*Result, error) {
 	start := time.Now()
 	cfg.fillDefaults()
-	if cfg.Threshold < 0 {
-		return nil, errors.New("sasimi: negative threshold")
+	if err := cfg.Budget.Validate("sasimi"); err != nil {
+		return nil, err
+	}
+	if cfg.Patterns != nil && cfg.Patterns.NumPatterns() == 0 {
+		return nil, fmt.Errorf("sasimi: %w: empty Patterns override", flow.ErrNoPatterns)
 	}
 	if cfg.Metric == core.MetricAEM && golden.NumOutputs() > 63 {
 		return nil, fmt.Errorf("sasimi: AEM flow needs <= 63 outputs, have %d", golden.NumOutputs())
@@ -403,7 +474,27 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	scratch := bitvec.New(patterns.NumPatterns())
 	change := bitvec.New(patterns.NumPatterns())
 
+	// The incremental engine carries net+vals+error-state+CPM across
+	// iterations; the gather cache carries candidate enumeration state.
+	// After an accept, pendingEdit/pendingChanged describe the surgery for
+	// the next iteration's cache update. With the engine off, a fresh
+	// Engine per iteration reproduces the legacy rebuild-from-scratch
+	// sequence operation for operation.
+	incremental := cfg.Incremental.enabled()
+	var (
+		eng            *core.Engine
+		cache          *gatherCache
+		pendingEdit    *core.Edit
+		pendingChanged []circuit.NodeID
+		runErr         error
+	)
+
+loop:
 	for iter := 1; ; iter++ {
+		if err := goCtx.Err(); err != nil {
+			runErr = err
+			break loop
+		}
 		if cfg.MaxIterations > 0 && iter > cfg.MaxIterations {
 			break
 		}
@@ -411,26 +502,54 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		prof.Iter = iter
 
 		sp = prof.Begin(obs.PhaseSimulate)
-		vals := sim.SimulateParallel(approx, patterns, pool)
-		st := emetric.NewState(goldenOut, sim.OutputMatrix(approx, vals))
+		if eng == nil || !incremental {
+			eng = core.NewEngine(approx, goldenOut, patterns, pool)
+		}
+		vals, st := eng.Vals, eng.St
 		prof.End(sp)
 		curErr := cfg.Metric.Value(st)
 		res.FinalError = curErr
 
-		ctx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric, pool: pool}
+		ictx := &iterContext{net: approx, vals: vals, st: st, metric: cfg.Metric,
+			pool: pool, engine: eng, goCtx: goCtx}
 		sp = prof.Begin(obs.PhaseCPMBuild)
-		est.prepare(ctx)
+		est.prepare(ictx)
 		prof.End(sp)
 		var cpmTime time.Duration
-		if ctx.cpm != nil {
-			cpmTime = ctx.cpm.BuildTime()
+		if ictx.cpm != nil {
+			cpmTime = ictx.cpm.BuildTime()
 			res.CPMTime += cpmTime
+			if stats, full := eng.LastRefresh(); !full {
+				o.cpmRefreshed(stats)
+			}
 		}
 
 		sp = prof.Begin(obs.PhaseEstimate)
 		arrival := cfg.Library.NodeArrival(approx)
 		invDelay := cfg.Library.GateDelay(circuit.KindNot)
-		cands := gatherCandidatesParallel(approx, vals, &cfg, arrival, invDelay, pool)
+		var cands []Candidate
+		if incremental {
+			env := newGatherEnv(approx, vals, &cfg, arrival, invDelay)
+			if cache == nil {
+				cache = &gatherCache{}
+				cands = cache.full(env, pool)
+			} else {
+				cands = cache.update(env, pendingEdit, pendingChanged, pool)
+			}
+		} else {
+			cands = gatherCandidatesParallel(goCtx, approx, vals, &cfg, arrival, invDelay, pool)
+		}
+		if err := goCtx.Err(); err != nil {
+			prof.End(sp)
+			runErr = err
+			break loop
+		}
+		if cfg.verifyIncremental && incremental {
+			if err := crossCheckIncremental(approx, vals, &cfg, arrival, invDelay, pool, cands, ictx.cpm); err != nil {
+				prof.End(sp)
+				return nil, err
+			}
+		}
 		if len(cands) == 0 {
 			prof.End(sp)
 			o.iteration(iter, curErr, 0, 0, false, time.Since(iterStart))
@@ -440,9 +559,13 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		// Estimate the increased error of every candidate (the batch step)
 		// and pick the best feasible one by ΔArea/ΔError score.
 		estStart := time.Now()
-		best, feasible := scoreCandidatesMaybeSharded(ctx, est, cands, curErr, cfg.Threshold,
+		best, feasible := scoreCandidatesMaybeSharded(ictx, est, cands, curErr, cfg.Threshold,
 			scratch, change, pool, o, iter)
 		prof.End(sp)
+		if err := goCtx.Err(); err != nil {
+			runErr = err
+			break loop
+		}
 
 		sp = prof.Begin(obs.PhaseVerifyApply)
 		if cfg.VerifyTopK > 0 && cfg.Estimator != EstimatorFull && len(feasible) > 0 {
@@ -459,7 +582,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		// Apply the substitution on a backup so an over-budget result can
 		// be rolled back, then measure the actual error (paper §3.2).
 		backup := approx.Clone()
-		applyCandidate(approx, &chosen)
+		ed := applyCandidate(approx, &chosen)
 		if cfg.CheckInvariants {
 			if err := checkAcyclic(approx, backup, &chosen); err != nil {
 				prof.End(sp)
@@ -467,13 +590,30 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 			}
 		}
 
-		newVals := sim.SimulateParallel(approx, patterns, pool)
-		newSt := emetric.NewState(goldenOut, sim.OutputMatrix(approx, newVals))
-		actual := cfg.Metric.Value(newSt)
+		// Measure the actual error on the same pattern set. Incrementally:
+		// resimulate only the edit's fanout cones in place and refresh the
+		// error state — bit-identical to the full resimulation by
+		// construction. The full path rebuilds everything next iteration.
+		var actual float64
+		var wrongCount int64
+		if incremental {
+			resimmed, valsChanged := eng.Apply(ed)
+			o.resimmed(len(resimmed))
+			pendingEdit, pendingChanged = &ed, valsChanged
+			actual = cfg.Metric.Value(eng.St)
+			wrongCount = int64(eng.St.WrongAny.Count())
+		} else {
+			newVals := sim.SimulateParallel(approx, patterns, pool)
+			newSt := emetric.NewState(goldenOut, sim.OutputMatrix(approx, newVals))
+			actual = cfg.Metric.Value(newSt)
+			wrongCount = int64(newSt.WrongAny.Count())
+		}
 		predicted := curErr + chosen.Delta
 		if actual > cfg.Threshold+1e-12 {
 			// The estimate was wrong and the budget is blown: restore the
-			// previous circuit and stop, as the paper's flow does.
+			// previous circuit and stop, as the paper's flow does. The
+			// engine's derived state is stale for the restored circuit, but
+			// the flow ends here so nothing reads it again.
 			*approx = *backup
 			prof.End(sp)
 			o.rolledBack()
@@ -489,7 +629,7 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 		targetName := backup.NameOf(chosen.Target)
 		subN := subName(backup, &chosen)
 		o.accepted(iter, targetName, subN, chosen.Inverted, predicted, actual, chosen.Exact, res.FinalArea,
-			chosen.Delta, int64(newSt.WrongAny.Count()), int64(patterns.NumPatterns()))
+			chosen.Delta, wrongCount, int64(patterns.NumPatterns()))
 		o.iteration(iter, curErr, len(cands), len(feasible), true, time.Since(iterStart))
 		if cfg.KeepTrace {
 			res.Iterations = append(res.Iterations, IterationRecord{
@@ -518,10 +658,46 @@ func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge("sasimi_parallel_speedup").Set(pool.Speedup())
 	}
+	if runErr != nil {
+		// Cancelled: the partial result is consistent (accepted
+		// substitutions only), returned alongside the context error.
+		return res, runErr
+	}
 	if err := approx.Validate(); err != nil {
 		return nil, fmt.Errorf("sasimi: flow corrupted the network: %w", err)
 	}
 	return res, nil
+}
+
+// crossCheckIncremental is the verifyIncremental paranoia pass: it rebuilds
+// the candidate list (and, when present, the CPM) from scratch and compares
+// against the incremental results field for field.
+func crossCheckIncremental(net *circuit.Network, vals *sim.Values, cfg *Config,
+	arrival []float64, invDelay float64, pool *par.Pool, cands []Candidate, cpm *core.CPM) error {
+
+	full := gatherCandidatesParallel(context.Background(), net, vals, cfg, arrival, invDelay, pool)
+	if len(full) != len(cands) {
+		return fmt.Errorf("sasimi: incremental gather diverged: %d candidates vs %d full", len(cands), len(full))
+	}
+	for i := range full {
+		a, b := &cands[i], &full[i]
+		if a.Target != b.Target || a.Sub != b.Sub || a.Inverted != b.Inverted ||
+			a.Const != b.Const || a.ConstVal != b.ConstVal ||
+			a.DiffProb != b.DiffProb || a.AreaGain != b.AreaGain {
+			return fmt.Errorf("sasimi: incremental gather diverged at candidate %d: %+v vs full %+v", i, *a, *b)
+		}
+	}
+	if cpm != nil {
+		fresh := core.BuildParallel(net, vals, pool)
+		for _, id := range net.LiveNodes() {
+			for o := 0; o < fresh.NumOutputs(); o++ {
+				if !cpm.Prop(id, o).Equal(fresh.Prop(id, o)) {
+					return fmt.Errorf("sasimi: incremental CPM diverged at node %d output %d", id, o)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkAcyclic closes the documented ReplaceFanin gap: circuit editing
@@ -644,19 +820,29 @@ func subName(n *circuit.Network, c *Candidate) string {
 	return n.NameOf(c.Sub)
 }
 
-// applyCandidate performs the netlist surgery for an accepted candidate.
-func applyCandidate(net *circuit.Network, c *Candidate) {
+// applyCandidate performs the netlist surgery for an accepted candidate and
+// returns the structural edit record the incremental engine consumes: the
+// replacement signal, the nodes rewired onto it (the target's former
+// fanouts, captured before the rewiring), any added node, and the swept
+// region with its live boundary.
+func applyCandidate(net *circuit.Network, c *Candidate) core.Edit {
+	var ed core.Edit
 	var repl circuit.NodeID
 	switch {
 	case c.Const:
 		repl = net.AddConst(c.ConstVal)
+		ed.Added = []circuit.NodeID{repl}
 	case c.Inverted:
 		repl = net.AddGate(circuit.KindNot, c.Sub)
+		ed.Added = []circuit.NodeID{repl}
 	default:
 		repl = c.Sub
 	}
+	ed.Repl = repl
+	ed.Rewired = append([]circuit.NodeID(nil), net.Fanouts(c.Target)...)
 	net.ReplaceNode(c.Target, repl)
-	net.SweepFrom(c.Target)
+	ed.Removed, ed.Boundary = net.SweepFromCollect(c.Target)
+	return ed
 }
 
 // EstimateAll exposes the batch estimation step in isolation: it returns
@@ -683,7 +869,7 @@ func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, erro
 	est.prepare(ctx)
 
 	arrival := cfg.Library.NodeArrival(approx)
-	cands := gatherCandidatesParallel(approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot), pool)
+	cands := gatherCandidatesParallel(context.Background(), approx, vals, &cfg, arrival, cfg.Library.GateDelay(circuit.KindNot), pool)
 	scratch := bitvec.New(patterns.NumPatterns())
 	change := bitvec.New(patterns.NumPatterns())
 	o := newRunObs(&cfg, approx)

@@ -9,6 +9,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sim"
 )
 
@@ -31,7 +32,7 @@ func runOn(t *testing.T, netName string, cfg Config) *Result {
 
 func TestZeroThresholdKeepsExactCircuit(t *testing.T) {
 	n := bench.RCA(8)
-	res, err := Run(n, Config{Metric: core.MetricER, Threshold: 0, NumPatterns: 2000, Seed: 1, CheckInvariants: true})
+	res, err := Run(n, Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 0, NumPatterns: 2000, Seed: 1}, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +49,14 @@ func TestZeroThresholdKeepsExactCircuit(t *testing.T) {
 func TestFlowRespectsERThreshold(t *testing.T) {
 	for _, kind := range []EstimatorKind{EstimatorBatch, EstimatorFull, EstimatorLocal} {
 		res := runOn(t, "mul4", Config{
-			Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000,
-			Seed: 7, Estimator: kind, KeepTrace: true,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.05,
+				NumPatterns: 2000,
+				Seed:        7,
+			},
+			Estimator: kind,
+			KeepTrace: true,
 		})
 		if res.FinalError > 0.05+1e-9 {
 			t.Fatalf("%v: measured error %v exceeds threshold", kind, res.FinalError)
@@ -68,7 +75,12 @@ func TestFlowRespectsERThreshold(t *testing.T) {
 
 func TestFlowReducesArea(t *testing.T) {
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 3,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        3,
+		},
 		Estimator: EstimatorBatch,
 	})
 	if res.NumIterations == 0 {
@@ -84,11 +96,21 @@ func TestBatchAtLeastAsGoodAsLocal(t *testing.T) {
 	// equal or better area than the local-estimation flow.
 	for _, name := range []string{"cmp8", "mul4"} {
 		batch := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 5,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.03,
+				NumPatterns: 3000,
+				Seed:        5,
+			},
 			Estimator: EstimatorBatch,
 		})
 		local := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 5,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.03,
+				NumPatterns: 3000,
+				Seed:        5,
+			},
 			Estimator: EstimatorLocal,
 		})
 		if batch.NumIterations == 0 {
@@ -106,11 +128,21 @@ func TestBatchMatchesFullQuality(t *testing.T) {
 	// change tie-breaks, so allow a small slack).
 	for _, name := range []string{"cmp8"} {
 		batch := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.01, NumPatterns: 2000, Seed: 11,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.01,
+				NumPatterns: 2000,
+				Seed:        11,
+			},
 			Estimator: EstimatorBatch,
 		})
 		full := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.01, NumPatterns: 2000, Seed: 11,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.01,
+				NumPatterns: 2000,
+				Seed:        11,
+			},
 			Estimator: EstimatorFull,
 		})
 		ratioB := batch.AreaRatio()
@@ -124,8 +156,15 @@ func TestBatchMatchesFullQuality(t *testing.T) {
 func TestAEMFlow(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 4000, Seed: 9,
-		Estimator: EstimatorBatch, KeepTrace: true, CheckInvariants: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricAEM,
+			Threshold:   2.0,
+			NumPatterns: 4000,
+			Seed:        9,
+		},
+		Estimator:       EstimatorBatch,
+		KeepTrace:       true,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -144,10 +183,24 @@ func TestAEMFlow(t *testing.T) {
 }
 
 func TestDeterministicWithSeed(t *testing.T) {
-	a := runOn(t, "mul4", Config{Metric: core.MetricER, Threshold: 0.02,
-		NumPatterns: 1500, Seed: 21, Estimator: EstimatorBatch})
-	b := runOn(t, "mul4", Config{Metric: core.MetricER, Threshold: 0.02,
-		NumPatterns: 1500, Seed: 21, Estimator: EstimatorBatch})
+	a := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.02,
+			NumPatterns: 1500,
+			Seed:        21,
+		},
+		Estimator: EstimatorBatch,
+	})
+	b := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.02,
+			NumPatterns: 1500,
+			Seed:        21,
+		},
+		Estimator: EstimatorBatch,
+	})
 	if a.FinalArea != b.FinalArea || a.NumIterations != b.NumIterations {
 		t.Fatalf("same seed, different outcome: %v/%v vs %v/%v",
 			a.FinalArea, a.NumIterations, b.FinalArea, b.NumIterations)
@@ -161,9 +214,17 @@ func TestDelayNeverIncreases(t *testing.T) {
 	lib := cell.Default()
 	for _, name := range []string{"rca8", "mul4", "cmp8"} {
 		golden, _ := bench.ByName(name)
-		res, err := Run(golden, Config{Metric: core.MetricER, Threshold: 0.05,
-			NumPatterns: 2000, Seed: 13, Estimator: EstimatorBatch, Library: lib,
-			CheckInvariants: true})
+		res, err := Run(golden, Config{
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.05,
+				NumPatterns: 2000,
+				Seed:        13,
+				Library:     lib,
+			},
+			Estimator:       EstimatorBatch,
+			CheckInvariants: true,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,8 +236,16 @@ func TestDelayNeverIncreases(t *testing.T) {
 }
 
 func TestTraceMonotonicity(t *testing.T) {
-	res := runOn(t, "mul4", Config{Metric: core.MetricER, Threshold: 0.05,
-		NumPatterns: 2000, Seed: 17, Estimator: EstimatorBatch, KeepTrace: true})
+	res := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        17,
+		},
+		Estimator: EstimatorBatch,
+		KeepTrace: true,
+	})
 	if len(res.Iterations) != res.NumIterations {
 		t.Fatalf("trace length %d != iterations %d", len(res.Iterations), res.NumIterations)
 	}
@@ -201,8 +270,16 @@ func TestTraceMonotonicity(t *testing.T) {
 }
 
 func TestMaxIterations(t *testing.T) {
-	res := runOn(t, "mul4", Config{Metric: core.MetricER, Threshold: 0.05,
-		NumPatterns: 1500, Seed: 19, Estimator: EstimatorBatch, MaxIterations: 2})
+	res := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:        core.MetricER,
+			Threshold:     0.05,
+			NumPatterns:   1500,
+			Seed:          19,
+			MaxIterations: 2,
+		},
+		Estimator: EstimatorBatch,
+	})
 	if res.NumIterations > 2 {
 		t.Fatalf("iterations %d exceed cap", res.NumIterations)
 	}
@@ -211,8 +288,13 @@ func TestMaxIterations(t *testing.T) {
 func TestEstimateAll(t *testing.T) {
 	golden := bench.RCA(8)
 	cands, err := EstimateAll(golden, golden.Clone(), Config{
-		Metric: core.MetricER, NumPatterns: 1500, Seed: 23,
-		Estimator: EstimatorBatch, Threshold: 1,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			NumPatterns: 1500,
+			Seed:        23,
+			Threshold:   1,
+		},
+		Estimator: EstimatorBatch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +319,7 @@ func TestEstimateAllBatchVsFullAgree(t *testing.T) {
 	// With an identical approximate circuit (no accumulated error) and a
 	// small network, batch estimates should track full simulation well.
 	golden := bench.RCA(6)
-	base := Config{Metric: core.MetricER, NumPatterns: 2000, Seed: 29, Threshold: 1}
+	base := Config{Budget: flow.Budget{Metric: core.MetricER, NumPatterns: 2000, Seed: 29, Threshold: 1}}
 	cfgB := base
 	cfgB.Estimator = EstimatorBatch
 	cfgF := base
@@ -267,7 +349,7 @@ func TestEstimateAllBatchVsFullAgree(t *testing.T) {
 
 func TestInvalidInputs(t *testing.T) {
 	n := bench.RCA(4)
-	if _, err := Run(n, Config{Threshold: -1}); err == nil {
+	if _, err := Run(n, Config{Budget: flow.Budget{Threshold: -1}}); err == nil {
 		t.Fatal("negative threshold accepted")
 	}
 	wide := circuit.New("wide")
@@ -276,7 +358,7 @@ func TestInvalidInputs(t *testing.T) {
 	for i := 0; i < 70; i++ {
 		wide.AddOutput("", g)
 	}
-	if _, err := Run(wide, Config{Metric: core.MetricAEM, Threshold: 1}); err == nil {
+	if _, err := Run(wide, Config{Budget: flow.Budget{Metric: core.MetricAEM, Threshold: 1}}); err == nil {
 		t.Fatal("AEM flow with 70 outputs accepted")
 	}
 }
@@ -289,8 +371,15 @@ func TestCustomPatterns(t *testing.T) {
 			t.Fatal("expected all-zero patterns")
 		}
 	}
-	res, err := Run(golden, Config{Metric: core.MetricER, Threshold: 0,
-		Patterns: p, Estimator: EstimatorBatch, CheckInvariants: true})
+	res, err := Run(golden, Config{
+		Budget: flow.Budget{
+			Metric:    core.MetricER,
+			Threshold: 0,
+		},
+		Patterns:        p,
+		Estimator:       EstimatorBatch,
+		CheckInvariants: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,8 +403,14 @@ func TestFlowTerminatesAndGainsExactOnSynthetic(t *testing.T) {
 	// MFFC used to over-report their gain, letting the flow accept
 	// zero-progress swaps forever on reconvergent synthetic circuits.
 	res := runOn(t, "c880", Config{
-		Metric: core.MetricER, Threshold: 0.01, NumPatterns: 600, Seed: 1,
-		Estimator: EstimatorBatch, KeepTrace: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.01,
+			NumPatterns: 600,
+			Seed:        1,
+		},
+		Estimator: EstimatorBatch,
+		KeepTrace: true,
 	})
 	prev := res.OriginalArea
 	for _, rec := range res.Iterations {
@@ -339,8 +434,15 @@ func TestVerifyTopKExactChosenDelta(t *testing.T) {
 	// measured error after applying must equal the running error plus the
 	// recorded EstDelta, every iteration.
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.04, NumPatterns: 2000, Seed: 31,
-		Estimator: EstimatorBatch, VerifyTopK: 16, KeepTrace: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.04,
+			NumPatterns: 2000,
+			Seed:        31,
+		},
+		Estimator:  EstimatorBatch,
+		VerifyTopK: 16,
+		KeepTrace:  true,
 	})
 	if res.NumIterations == 0 {
 		t.Fatal("no progress")
@@ -358,12 +460,23 @@ func TestVerifyTopKExactChosenDelta(t *testing.T) {
 func TestVerifyTopKNeverWorseBudget(t *testing.T) {
 	for _, name := range []string{"mul4", "cmp8"} {
 		plain := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.02, NumPatterns: 2000, Seed: 33,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.02,
+				NumPatterns: 2000,
+				Seed:        33,
+			},
 			Estimator: EstimatorBatch,
 		})
 		verified := runOn(t, name, Config{
-			Metric: core.MetricER, Threshold: 0.02, NumPatterns: 2000, Seed: 33,
-			Estimator: EstimatorBatch, VerifyTopK: 8,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.02,
+				NumPatterns: 2000,
+				Seed:        33,
+			},
+			Estimator:  EstimatorBatch,
+			VerifyTopK: 8,
 		})
 		if verified.FinalError > 0.02+1e-9 || plain.FinalError > 0.02+1e-9 {
 			t.Fatalf("%s: budget violated", name)
@@ -379,8 +492,15 @@ func TestVerifyTopKNeverWorseBudget(t *testing.T) {
 
 func TestVerifyTopKAEM(t *testing.T) {
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 2000, Seed: 35,
-		Estimator: EstimatorBatch, VerifyTopK: 8, KeepTrace: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricAEM,
+			Threshold:   2.0,
+			NumPatterns: 2000,
+			Seed:        35,
+		},
+		Estimator:  EstimatorBatch,
+		VerifyTopK: 8,
+		KeepTrace:  true,
 	})
 	if res.FinalError > 2.0+1e-9 {
 		t.Fatalf("AEM %v over budget", res.FinalError)

@@ -1,0 +1,330 @@
+package sasimi
+
+import (
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/core"
+	"batchals/internal/par"
+)
+
+// gatherCache carries candidate-enumeration state across iterations of the
+// incremental engine. Candidate gathering is the flow's single most
+// expensive phase, yet an accepted substitution invalidates only a small
+// region of it: a cached target bucket stays bit-identical unless the
+// target's value vector, arrival time or MFFC reads changed, and within a
+// clean bucket only the pairs whose substitute lies in the edit's dirty
+// region need re-evaluation. The cache exploits exactly that:
+//
+//   - per target it keeps the canonical-order bucket plus the dependency
+//     set deps (MFFC cone nodes and their fanins — the records the MFFC
+//     walk reads, see targetData);
+//   - after an edit it derives targetDirty = value-changed ∪ added ∪
+//     arrival-changed ∪ {t : deps(t) ∩ probe ≠ ∅}, where probe is the set
+//     of nodes whose structural records the edit touched (Repl, Rewired,
+//     Removed, Boundary, fanins of Added);
+//   - subDirty is the structural fanout cone of the rewired/added seeds
+//     plus every arrival-changed node: any pair whose admissibility
+//     (cycle screen, delay screen) or difference probability could have
+//     moved has its substitute in this set, because new target→substitute
+//     paths run through a rewired edge, lost paths ran through the swept
+//     region, and changed values lie in the seeds' fanout cones;
+//   - dirty targets recompute in full, clean targets drop the candidates
+//     whose substitute is dirty or removed and merge in freshly evaluated
+//     pairs for the dirty substitutes, preserving canonical bucket order.
+//
+// The final candidate list is itself maintained incrementally: candLess
+// is a strict total order, so the sorted permutation of the candidate
+// multiset is unique, and the cache keeps the previous iteration's fully
+// sorted list. After an edit it filters out the entries owned by dirty or
+// removed targets and dropped substitutes (a linear pass over a list that
+// is already sorted), sorts only the replacement entries (the dirty
+// targets' new buckets plus the clean targets' fresh pairs — a small
+// fraction of the total), and merges the two sorted runs. The result is
+// the unique sorted permutation of the new multiset — bit-identical to
+// re-sorting the flattened buckets from scratch, at a fraction of the
+// comparator cost — pinned by the differential suite and the
+// Config.verifyIncremental cross-check.
+type gatherCache struct {
+	data        []targetData // indexed by node slot
+	prevArrival []float64
+	// sorted is the full sorted candidate list of the previous gather,
+	// before the MaxCandidates cap, with pristine gather-time fields
+	// (callers get a copy, so scoring's in-place Delta/Score writes never
+	// leak back into the cache).
+	sorted []Candidate
+}
+
+// full performs the initial complete gather, populating every target's
+// cached bucket and dependency set. Buckets land in per-target slots owned
+// by the task index, so the fan-out is deterministic at any worker count.
+func (gc *gatherCache) full(env *gatherEnv, pool *par.Pool) []Candidate {
+	gc.data = make([]targetData, env.net.NumSlots())
+	targets := liveGateTargets(env.net)
+	pool.Do(len(targets), func(_, ti int) {
+		t := targets[ti]
+		gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
+	})
+	gc.prevArrival = append([]float64(nil), env.arrival...)
+	total := 0
+	for _, t := range targets {
+		total += len(gc.data[t].bucket)
+	}
+	gc.sorted = make([]Candidate, 0, total)
+	for _, t := range targets {
+		gc.sorted = append(gc.sorted, gc.data[t].bucket...)
+	}
+	sortCandidates(gc.sorted)
+	return gc.capped(env.cfg)
+}
+
+// update refreshes the cache after one accepted edit and returns the new
+// candidate list. ed is the structural record of the edit and changed the
+// nodes whose value vectors differ (from core.Engine.Apply).
+func (gc *gatherCache) update(env *gatherEnv, ed *core.Edit, changed []circuit.NodeID, pool *par.Pool) []Candidate {
+	n := env.net
+	slots := n.NumSlots()
+	for len(gc.data) < slots {
+		gc.data = append(gc.data, targetData{})
+	}
+	for len(gc.prevArrival) < slots {
+		gc.prevArrival = append(gc.prevArrival, 0)
+	}
+	for _, id := range ed.Removed {
+		gc.data[id] = targetData{}
+	}
+
+	// probe: nodes whose structural records (fanin list, fanout count,
+	// output-driver status) the edit touched. A clean target's MFFC walk
+	// read none of them, so its gain figures are unchanged.
+	probe := make([]bool, slots)
+	probe[ed.Repl] = true
+	for _, id := range ed.Rewired {
+		probe[id] = true
+	}
+	for _, id := range ed.Removed {
+		probe[id] = true
+	}
+	for _, id := range ed.Boundary {
+		probe[id] = true
+	}
+	for _, id := range ed.Added {
+		probe[id] = true
+		for _, f := range n.Fanins(id) {
+			probe[f] = true
+		}
+	}
+
+	changedVal := make([]bool, slots)
+	for _, id := range changed {
+		changedVal[id] = true
+	}
+
+	arrivalChanged := make([]bool, slots)
+	for _, id := range n.LiveNodes() {
+		if env.arrival[id] != gc.prevArrival[id] {
+			arrivalChanged[id] = true
+		}
+	}
+
+	// subDirty: structural fanout cone of the edit's seeds, plus every
+	// arrival-changed node.
+	subDirty := make([]bool, slots)
+	var stack []circuit.NodeID
+	push := func(id circuit.NodeID) {
+		if n.IsLive(id) && !subDirty[id] {
+			subDirty[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, id := range ed.Rewired {
+		push(id)
+	}
+	for _, id := range ed.Added {
+		push(id)
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range n.Fanouts(x) {
+			push(fo)
+		}
+	}
+	for _, id := range n.LiveNodes() {
+		if arrivalChanged[id] {
+			subDirty[id] = true
+		}
+	}
+
+	// drop marks substitutes whose cached pairs must leave clean buckets:
+	// the dirty ones (re-evaluated below) and the removed ones (gone).
+	drop := make([]bool, slots)
+	copy(drop, subDirty)
+	for _, id := range ed.Removed {
+		drop[id] = true
+	}
+
+	// The dirty substitutes that are admissible, ascending, with one
+	// transitive fanin cone each: t ∈ tfi(s) ⟺ s ∈ TFO(t), which is the
+	// enumeration's cycle screen evaluated from the substitute's side.
+	var dirtySubs []circuit.NodeID
+	for _, id := range n.LiveNodes() {
+		if subDirty[id] {
+			if k := n.Kind(id); k.IsGate() || k == circuit.KindInput {
+				dirtySubs = append(dirtySubs, id)
+			}
+		}
+	}
+	tfis := make([][]bool, len(dirtySubs))
+	for i, s := range dirtySubs {
+		tfis[i] = n.TransitiveFaninCone(s)
+	}
+
+	targets := liveGateTargets(n)
+	dirtyT := make([]bool, slots)
+	freshBy := make([][]Candidate, len(targets))
+	pool.Do(len(targets), func(_, ti int) {
+		t := targets[ti]
+		td := &gc.data[t]
+		if !td.live || changedVal[t] || arrivalChanged[t] || depsTouched(td.deps, probe) {
+			dirtyT[t] = true
+			gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
+			return
+		}
+		if td.baseGain <= 0 {
+			return // no bucket, and the gain figures are provably unchanged
+		}
+		tv := env.vals.Node(t)
+		tArr := env.arrival[t]
+		var fresh []Candidate
+		var diff *bitvec.Vec
+		for i, s := range dirtySubs {
+			if s == t || tfis[i][t] {
+				continue
+			}
+			if diff == nil {
+				diff = bitvec.New(env.m)
+			}
+			fresh = env.evalPair(fresh, td, t, s, tv, tArr, diff)
+		}
+		freshBy[ti] = fresh
+		td.bucket = mergeBucket(td.bucket, fresh, drop)
+	})
+
+	// Maintain the sorted list by filter-and-merge: the previous list
+	// minus the entries of dirty/removed targets and dropped substitutes
+	// is still sorted; the replacements (dirty targets' new buckets plus
+	// the clean targets' fresh pairs) form exactly the complement of the
+	// new multiset. candLess is a strict total order, so the merge is
+	// bit-identical to re-sorting the flattened buckets.
+	var added []Candidate
+	for ti, t := range targets {
+		if dirtyT[t] {
+			added = append(added, gc.data[t].bucket...)
+		} else {
+			added = append(added, freshBy[ti]...)
+		}
+	}
+	sortCandidates(added)
+
+	kept := make([]Candidate, 0, len(gc.sorted))
+	for i := range gc.sorted {
+		c := &gc.sorted[i]
+		if !n.IsLive(c.Target) || dirtyT[c.Target] {
+			continue
+		}
+		if !c.Const && drop[c.Sub] {
+			continue
+		}
+		kept = append(kept, *c)
+	}
+	gc.sorted = mergeSorted(kept, added)
+
+	gc.prevArrival = append(gc.prevArrival[:0], env.arrival...)
+	return gc.capped(env.cfg)
+}
+
+// mergeSorted merges two candLess-sorted runs. Ties cannot occur (the
+// order is total over distinct candidates), so tie placement is moot.
+func mergeSorted(a, b []Candidate) []Candidate {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Candidate, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if candLess(&a[i], &b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// capped hands the caller its own copy of the MaxCandidates prefix of
+// the cached sorted list. Copying keeps the cache pristine: scoring
+// writes Delta/Score/Exact into the returned slice in place.
+func (gc *gatherCache) capped(cfg *Config) []Candidate {
+	view := gc.sorted
+	if cfg.MaxCandidates > 0 && len(view) > cfg.MaxCandidates {
+		view = view[:cfg.MaxCandidates]
+	}
+	return append([]Candidate(nil), view...)
+}
+
+func depsTouched(deps []circuit.NodeID, probe []bool) bool {
+	for _, d := range deps {
+		if probe[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeBucket rebuilds a clean target's bucket: retained constants first
+// (they depend only on the target's value and base gain, both unchanged),
+// then the ordered merge of the retained pairs — minus dropped substitutes
+// — with the freshly evaluated ones. Both inputs are ordered by ascending
+// substitute with plain before inverted, and their substitute sets are
+// disjoint, so the merge reproduces the canonical enumeration order.
+func mergeBucket(old, fresh []Candidate, drop []bool) []Candidate {
+	out := make([]Candidate, 0, len(old)+len(fresh))
+	i := 0
+	for i < len(old) && old[i].Const {
+		out = append(out, old[i])
+		i++
+	}
+	j := 0
+	for i < len(old) || j < len(fresh) {
+		if i < len(old) && drop[old[i].Sub] {
+			i++
+			continue
+		}
+		switch {
+		case i >= len(old):
+			out = append(out, fresh[j])
+			j++
+		case j >= len(fresh):
+			out = append(out, old[i])
+			i++
+		case pairBefore(&old[i], &fresh[j]):
+			out = append(out, old[i])
+			i++
+		default:
+			out = append(out, fresh[j])
+			j++
+		}
+	}
+	return out
+}
+
+// pairBefore orders pair candidates by the enumeration's inner-loop order.
+func pairBefore(a, b *Candidate) bool {
+	if a.Sub != b.Sub {
+		return a.Sub < b.Sub
+	}
+	return !a.Inverted && b.Inverted
+}

@@ -13,6 +13,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/sim"
 )
@@ -25,9 +26,17 @@ func TestFlowEmitsObservability(t *testing.T) {
 	tr := obs.NewJSONLTracer(&buf)
 	reg := obs.NewRegistry()
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 7,
-		Estimator: EstimatorBatch, VerifyTopK: 4, KeepTrace: true,
-		Tracer: tr, Metrics: reg,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Estimator:  EstimatorBatch,
+		VerifyTopK: 4,
+		KeepTrace:  true,
+		Tracer:     tr,
+		Metrics:    reg,
 	})
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
@@ -136,8 +145,14 @@ func TestFlowEmitsObservability(t *testing.T) {
 // fresh JSONL tracer and checks the accept events agree with the live run.
 func TestReplayTraceMatchesLiveTrace(t *testing.T) {
 	res := runOn(t, "mul4", Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 7,
-		Estimator: EstimatorBatch, KeepTrace: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Estimator: EstimatorBatch,
+		KeepTrace: true,
 	})
 	var buf bytes.Buffer
 	tr := obs.NewJSONLTracer(&buf)
@@ -195,7 +210,7 @@ func TestNilTracerScoringAllocs(t *testing.T) {
 	est.prepare(ctx)
 
 	lib := cell.Default()
-	cfg := Config{Metric: core.MetricER, Threshold: 1}
+	cfg := Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 1}}
 	cfg.fillDefaults()
 	arrival := lib.NodeArrival(net)
 	cands := gatherCandidates(net, vals, &cfg, arrival, lib.GateDelay(circuit.KindNot))
@@ -275,8 +290,15 @@ func TestCheckInvariantsNamesCycle(t *testing.T) {
 // the same seed with and without tracer/metrics yields bit-identical
 // results.
 func TestObservedFlowMatchesUnobserved(t *testing.T) {
-	cfg := Config{Metric: core.MetricER, Threshold: 0.03, NumPatterns: 1500,
-		Seed: 11, Estimator: EstimatorBatch}
+	cfg := Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 1500,
+			Seed:        11,
+		},
+		Estimator: EstimatorBatch,
+	}
 	plain := runOn(t, "cmp8", cfg)
 	cfg.Tracer = obs.NewJSONLTracer(&bytes.Buffer{})
 	cfg.Metrics = obs.NewRegistry()
@@ -287,5 +309,63 @@ func TestObservedFlowMatchesUnobserved(t *testing.T) {
 	}
 	if plain.Approx.Dump() != observed.Approx.Dump() {
 		t.Fatal("observation changed the synthesised circuit")
+	}
+}
+
+// TestIncrementalEngineMetrics pins the incremental engine's observability:
+// a metered multi-iteration run must record resimulated nodes, refreshed
+// CPM rows, and a dirty-fraction histogram whose observations stay in
+// (0, 1].
+func TestIncrementalEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Estimator:   EstimatorBatch,
+		Incremental: IncrementalOn,
+		Metrics:     reg,
+	})
+	if res.NumIterations < 2 {
+		t.Fatalf("need >= 2 iterations to exercise the engine, got %d", res.NumIterations)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sasimi_resim_nodes_total"] <= 0 {
+		t.Fatalf("sasimi_resim_nodes_total not recorded: %v", snap.Counters)
+	}
+	if snap.Counters["sasimi_cpm_refresh_rows_total"] <= 0 {
+		t.Fatalf("sasimi_cpm_refresh_rows_total not recorded: %v", snap.Counters)
+	}
+	h, ok := snap.Histograms["sasimi_cpm_dirty_fraction"]
+	if !ok || h.Count == 0 {
+		t.Fatal("sasimi_cpm_dirty_fraction histogram not recorded")
+	}
+	// One refresh per iteration after the first accept.
+	if h.Count != int64(res.NumIterations) {
+		t.Fatalf("dirty-fraction observations %d, want %d (one per post-accept refresh)", h.Count, res.NumIterations)
+	}
+	if h.Min <= 0 || h.Max > 1 {
+		t.Fatalf("dirty fractions outside (0,1]: min %v max %v", h.Min, h.Max)
+	}
+
+	// The full-rebuild path must not record any of them.
+	regOff := obs.NewRegistry()
+	runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Estimator:   EstimatorBatch,
+		Incremental: IncrementalOff,
+		Metrics:     regOff,
+	})
+	snapOff := regOff.Snapshot()
+	if snapOff.Counters["sasimi_resim_nodes_total"] != 0 || snapOff.Counters["sasimi_cpm_refresh_rows_total"] != 0 {
+		t.Fatalf("full-rebuild run recorded incremental metrics: %v", snapOff.Counters)
 	}
 }

@@ -1,8 +1,7 @@
 package sasimi
 
 import (
-	"math/bits"
-	"sort"
+	"context"
 
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
@@ -21,110 +20,24 @@ import (
 // worker count. The network traversals used per target (MFFC,
 // MFFCExcluding, TransitiveFanoutCone) are read-only and allocate locally,
 // so workers share the network safely.
-func gatherCandidatesParallel(net *circuit.Network, vals *sim.Values, cfg *Config,
+func gatherCandidatesParallel(goCtx context.Context, net *circuit.Network, vals *sim.Values, cfg *Config,
 	arrival []float64, invDelay float64, pool *par.Pool) []Candidate {
 
 	if pool.Workers() <= 1 {
 		return gatherCandidates(net, vals, cfg, arrival, invDelay)
 	}
-	m := vals.M
-	targets := make([]circuit.NodeID, 0, net.NumNodes())
-	subs := make([]circuit.NodeID, 0, net.NumNodes())
-	for _, id := range net.LiveNodes() {
-		k := net.Kind(id)
-		if k.IsGate() {
-			targets = append(targets, id)
-			subs = append(subs, id)
-		} else if k == circuit.KindInput {
-			subs = append(subs, id)
-		}
-	}
-	invArea := cfg.Library.GateArea(circuit.KindNot, 1)
-
-	prefixWords := bitvec.Words(m)
-	if prefixWords > 4 {
-		prefixWords = 4
-	}
-	prefixBits := prefixWords * bitvec.WordBits
-	if prefixBits > m {
-		prefixBits = m
-	}
-	prefixCap := cfg.SimilarityCap*2 + 0.1
-
+	env := newGatherEnv(net, vals, cfg, arrival, invDelay)
+	targets := liveGateTargets(net)
 	buckets := make([][]Candidate, len(targets))
-	pool.Do(len(targets), func(_, ti int) {
-		t := targets[ti]
-		baseGain := 0.0
-		mffc := make(map[circuit.NodeID]bool)
-		for _, id := range net.MFFC(t) {
-			baseGain += cfg.Library.GateArea(net.Kind(id), len(net.Fanins(id)))
-			mffc[id] = true
-		}
-		if baseGain <= 0 {
-			return
-		}
-		pairGain := func(s circuit.NodeID) float64 {
-			if !mffc[s] {
-				return baseGain
-			}
-			g := 0.0
-			for _, id := range net.MFFCExcluding(t, s) {
-				g += cfg.Library.GateArea(net.Kind(id), len(net.Fanins(id)))
-			}
-			return g
-		}
-
-		tv := vals.Node(t)
-		tfo := net.TransitiveFanoutCone(t)
-		tArr := arrival[t]
-		var out []Candidate
-
-		ones := tv.Count()
-		p1 := float64(ones) / float64(m)
-		if p0 := 1 - p1; p0 <= cfg.SimilarityCap {
-			out = append(out, Candidate{Target: t, Sub: circuit.InvalidNode,
-				Const: true, ConstVal: true, DiffProb: p0, AreaGain: baseGain})
-		}
-		if p1 <= cfg.SimilarityCap {
-			out = append(out, Candidate{Target: t, Sub: circuit.InvalidNode,
-				Const: true, ConstVal: false, DiffProb: p1, AreaGain: baseGain})
-		}
-
-		diff := bitvec.New(m)
-		for _, s := range subs {
-			if s == t || tfo[s] {
-				continue
-			}
-			sv := vals.Node(s)
-			if prefixWords > 0 {
-				d := 0
-				tw, sw := tv.WordsSlice(), sv.WordsSlice()
-				for w := 0; w < prefixWords; w++ {
-					d += bits.OnesCount64(tw[w] ^ sw[w])
-				}
-				frac := float64(d) / float64(prefixBits)
-				if frac > prefixCap && (1-frac) > prefixCap {
-					continue
-				}
-			}
-			diff.Xor(tv, sv)
-			dp := float64(diff.Count()) / float64(m)
-
-			if dp <= cfg.SimilarityCap && arrival[s] <= tArr {
-				if g := pairGain(s); g > 0 {
-					out = append(out, Candidate{Target: t, Sub: s,
-						DiffProb: dp, AreaGain: g})
-				}
-			}
-			if idp := 1 - dp; idp <= cfg.SimilarityCap && arrival[s]+invDelay <= tArr {
-				if g := pairGain(s) - invArea; g > 0 {
-					out = append(out, Candidate{Target: t, Sub: s,
-						Inverted: true, DiffProb: idp, AreaGain: g})
-				}
-			}
-		}
-		buckets[ti] = out
-	})
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
+		td := env.computeTarget(targets[ti], bitvec.New(env.m), false)
+		buckets[ti] = td.bucket
+	}); err != nil {
+		return nil // cancelled mid-gather; the caller abandons the iteration
+	}
 
 	total := 0
 	for _, b := range buckets {
@@ -134,23 +47,7 @@ func gatherCandidatesParallel(net *circuit.Network, vals *sim.Values, cfg *Confi
 	for _, b := range buckets {
 		cands = append(cands, b...)
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := &cands[i], &cands[j]
-		if a.DiffProb != b.DiffProb {
-			return a.DiffProb < b.DiffProb
-		}
-		if a.AreaGain != b.AreaGain {
-			return a.AreaGain > b.AreaGain
-		}
-		if a.Target != b.Target {
-			return a.Target < b.Target
-		}
-		return a.Sub < b.Sub
-	})
-	if cfg.MaxCandidates > 0 && len(cands) > cfg.MaxCandidates {
-		cands = cands[:cfg.MaxCandidates]
-	}
-	return cands
+	return sortAndCap(cands, cfg)
 }
 
 // scoreCandidatesMaybeSharded dispatches candidate scoring: the batch
@@ -221,9 +118,13 @@ func scoreCandidatesSharded(ctx *iterContext, cands []Candidate,
 		}
 	}
 
+	goCtx := ctx.goCtx
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
 	last := words - 1
 	tail := bitvec.TailMask(m)
-	pool.Do(len(shards), func(_, si int) {
+	err := pool.DoCtx(goCtx, len(shards), func(_, si int) {
 		sh := shards[si]
 		chg := make([]uint64, words)
 		for ci := range cands {
@@ -262,6 +163,11 @@ func scoreCandidatesSharded(ctx *iterContext, cands []Candidate,
 			}
 		}
 	})
+	if err != nil {
+		// Cancelled mid-scoring: the partial results are abandoned and the
+		// flow returns at its next iteration-boundary check.
+		return -1, nil
+	}
 
 	best := -1
 	var feasible []int

@@ -1,6 +1,7 @@
 package sasimi
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/obs"
 	"batchals/internal/par"
 	"batchals/internal/sim"
@@ -84,11 +86,11 @@ func TestParallelFlowBitIdentical(t *testing.T) {
 		wantAccepts bool
 		cfg         Config
 	}{
-		{"rca8", true, Config{Metric: core.MetricER, Threshold: 0.10, NumPatterns: 2000, Seed: 11}},
-		{"dec4", true, Config{Metric: core.MetricER, Threshold: 0.10, NumPatterns: 1500, Seed: 5}},
-		{"par16", false, Config{Metric: core.MetricER, Threshold: 0.30, NumPatterns: 1000, Seed: 9, SimilarityCap: 0.5}},
-		{"cmp8", true, Config{Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 3, VerifyTopK: 4}},
-		{"rca8", true, Config{Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 1000, Seed: 13}},
+		{"rca8", true, Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 0.10, NumPatterns: 2000, Seed: 11}}},
+		{"dec4", true, Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 0.10, NumPatterns: 1500, Seed: 5}}},
+		{"par16", false, Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 0.30, NumPatterns: 1000, Seed: 9}, SimilarityCap: 0.5}},
+		{"cmp8", true, Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 3}, VerifyTopK: 4}},
+		{"rca8", true, Config{Budget: flow.Budget{Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 1000, Seed: 13}}},
 	}
 	for _, tc := range cases {
 		tc.cfg.KeepTrace = true
@@ -125,7 +127,12 @@ func TestParallelEstimateAllBitIdentical(t *testing.T) {
 	for i, workers := range workerSweep() {
 		approx := golden.Clone()
 		cands, err := EstimateAll(golden, approx, Config{
-			Metric: core.MetricER, Threshold: 0.1, NumPatterns: 2000, Seed: 21,
+			Budget: flow.Budget{
+				Metric:      core.MetricER,
+				Threshold:   0.1,
+				NumPatterns: 2000,
+				Seed:        21,
+			},
 			Workers: workers,
 		})
 		if err != nil {
@@ -158,7 +165,7 @@ func TestParallelScoringMatchesSequential(t *testing.T) {
 		st := emetric.NewState(sim.OutputMatrix(net, golden), sim.OutputMatrix(approx, vals))
 
 		lib := cell.Default()
-		cfg := Config{Metric: metric, Threshold: 0.5, Workers: 1}
+		cfg := Config{Budget: flow.Budget{Metric: metric, Threshold: 0.5}, Workers: 1}
 		cfg.fillDefaults()
 		cfg.Workers = 1
 		arrival := lib.NodeArrival(approx)
@@ -178,7 +185,7 @@ func TestParallelScoringMatchesSequential(t *testing.T) {
 
 		for _, workers := range []int{2, 4, 7} {
 			pool := par.NewPool(workers)
-			gotCands := gatherCandidatesParallel(approx, vals, &cfg, arrival,
+			gotCands := gatherCandidatesParallel(context.Background(), approx, vals, &cfg, arrival,
 				lib.GateDelay(circuit.KindNot), pool)
 			if !reflect.DeepEqual(gotCands, seqCands) {
 				pool.Close()
@@ -218,7 +225,7 @@ func TestNilTracerShardedScoringAllocs(t *testing.T) {
 	est.prepare(ctx)
 
 	lib := cell.Default()
-	cfg := Config{Metric: core.MetricER, Threshold: 1, Workers: 1}
+	cfg := Config{Budget: flow.Budget{Metric: core.MetricER, Threshold: 1}, Workers: 1}
 	cfg.fillDefaults()
 	arrival := lib.NodeArrival(net)
 	cands := gatherCandidates(net, vals, &cfg, arrival, lib.GateDelay(circuit.KindNot))
@@ -251,9 +258,15 @@ func TestRaceParallelFlow(t *testing.T) {
 			defer wg.Done()
 			n := bench.RCA(8)
 			res, err := Run(n, Config{
-				Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000,
-				Seed: seed, Workers: 4, CheckInvariants: true,
-				Metrics: obs.NewRegistry(),
+				Budget: flow.Budget{
+					Metric:      core.MetricER,
+					Threshold:   0.05,
+					NumPatterns: 2000,
+					Seed:        seed,
+				},
+				Workers:         4,
+				CheckInvariants: true,
+				Metrics:         obs.NewRegistry(),
 			})
 			if err != nil {
 				t.Error(err)

@@ -12,6 +12,7 @@ import (
 
 	"batchals/internal/bench"
 	"batchals/internal/core"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -30,7 +31,12 @@ func TestServedFlowIsBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sasimi.Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 7,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
 		Estimator: sasimi.EstimatorBatch,
 	}
 	plain, err := sasimi.Run(net, cfg)

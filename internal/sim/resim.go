@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"batchals/internal/bitvec"
+	"batchals/internal/circuit"
+	"batchals/internal/par"
+)
+
+// Grow extends the value table to cover n node slots, so vectors for nodes
+// created by a network edit can be installed. Existing vectors are kept.
+func (v *Values) Grow(n int) {
+	for len(v.vecs) < n {
+		v.vecs = append(v.vecs, nil)
+	}
+}
+
+// Drop releases the value vector of a deleted node slot.
+func (v *Values) Drop(id circuit.NodeID) {
+	if int(id) < len(v.vecs) {
+		v.vecs[id] = nil
+	}
+}
+
+// ResimulateConeParallel is ResimulateCone with the pattern axis sharded
+// across the pool's workers. Each worker re-evaluates the whole cone in
+// topological order restricted to its word range; a node's word w depends
+// only on its fanins' word w (finalised earlier in the same shard's pass),
+// so every word receives exactly the value the sequential resimulation
+// would compute — bit-identical at any worker count. A nil or
+// single-worker pool falls through to ResimulateCone.
+func ResimulateConeParallel(n *circuit.Network, v *Values, root circuit.NodeID, pool *par.Pool) []circuit.NodeID {
+	if pool.Workers() <= 1 {
+		return ResimulateCone(n, v, root)
+	}
+	inCone := n.TransitiveFanoutCone(root)
+	var list []circuit.NodeID
+	for _, id := range n.TopoOrder() {
+		if inCone[id] && id != root {
+			list = append(list, id)
+		}
+	}
+	resimSharded(n, v, list, pool, nil)
+	statConeResims.Inc()
+	statGateEvals.Add(int64(len(list)))
+	return list
+}
+
+// ResimulateFrom re-evaluates, in place, the union of the structural
+// fanout cones of the seed nodes (seeds included) and reports which nodes'
+// value vectors actually changed. It is the incremental iteration engine's
+// workhorse: after netlist surgery, the seeds are the rewired gates (whose
+// fanin lists now read different nodes) plus any newly created nodes
+// (whose vectors do not exist yet — the table is grown and fresh vectors
+// allocated).
+//
+// The changed set is a pure function of the network and the value table —
+// a node is reported iff its recomputed vector differs from its previous
+// one in any of the M bits — so it is identical at any worker count:
+// workers compute disjoint word ranges and their per-word difference flags
+// are OR-combined after the join. Primary inputs are never re-evaluated.
+func ResimulateFrom(n *circuit.Network, v *Values, seeds []circuit.NodeID, pool *par.Pool) (resimmed, changed []circuit.NodeID) {
+	v.Grow(n.NumSlots())
+	inCone := make([]bool, n.NumSlots())
+	stack := make([]circuit.NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if n.IsLive(s) && !inCone[s] {
+			inCone[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range n.Fanouts(x) {
+			if !inCone[fo] {
+				inCone[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	var list []circuit.NodeID
+	for _, id := range n.TopoOrder() {
+		if !inCone[id] || n.Kind(id) == circuit.KindInput {
+			continue
+		}
+		if v.vecs[id] == nil { // newly created node
+			v.vecs[id] = bitvec.New(v.M)
+		}
+		list = append(list, id)
+	}
+	if len(list) == 0 {
+		return nil, nil
+	}
+	diff := make([]bool, len(list))
+	resimSharded(n, v, list, pool, diff)
+	for i, id := range list {
+		if diff[i] {
+			changed = append(changed, id)
+		}
+	}
+	statConeResims.Inc()
+	statGateEvals.Add(int64(len(list)))
+	return list, changed
+}
+
+// resimSharded re-evaluates the topologically ordered node list in place,
+// pattern-sharded over the pool. When diff is non-nil (len(list)), entry i
+// is set if node list[i]'s vector changed in any word. Every worker writes
+// only its shard's words and its shard-local difference flags; flags are
+// OR-combined in fixed shard order after the join.
+func resimSharded(n *circuit.Network, v *Values, list []circuit.NodeID, pool *par.Pool, diff []bool) {
+	if len(list) == 0 {
+		return
+	}
+	words := bitvec.Words(v.M)
+	last := words - 1
+	tail := bitvec.TailMask(v.M)
+	shards := par.Shards(v.M, pool.Workers())
+	var shardDiff [][]bool
+	if diff != nil {
+		shardDiff = make([][]bool, len(shards))
+		for i := range shardDiff {
+			shardDiff[i] = make([]bool, len(list))
+		}
+	}
+	pool.Do(len(shards), func(_, si int) {
+		sh := shards[si]
+		buf := make([]uint64, 8)
+		for li, id := range list {
+			kind := n.Kind(id)
+			fanins := n.Fanins(id)
+			if cap(buf) < len(fanins) {
+				buf = make([]uint64, len(fanins))
+			}
+			b := buf[:len(fanins)]
+			out := v.vecs[id].WordsSlice()
+			changed := false
+			for w := sh.W0; w < sh.W1; w++ {
+				for j, f := range fanins {
+					b[j] = v.vecs[f].WordsSlice()[w]
+				}
+				nw := kind.EvalWord(b)
+				if w == last {
+					nw &= tail
+				}
+				if out[w] != nw {
+					changed = true
+					out[w] = nw
+				}
+			}
+			if changed && shardDiff != nil {
+				shardDiff[si][li] = true
+			}
+		}
+	})
+	for si := range shardDiff {
+		for li, d := range shardDiff[si] {
+			if d {
+				diff[li] = true
+			}
+		}
+	}
+}

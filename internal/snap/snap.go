@@ -11,36 +11,29 @@
 package snap
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"batchals/internal/bitvec"
-	"batchals/internal/cell"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sim"
 )
 
-// Config parameterises a snap run.
+// Config parameterises a snap run. The shared budget fields (Metric,
+// Threshold, NumPatterns, Seed, Library, MaxIterations) come from the
+// embedded flow.Budget.
 type Config struct {
-	// Metric and Threshold define the error budget, as in sasimi.Config.
-	Metric    core.Metric
-	Threshold float64
-	// NumPatterns and Seed control the Monte Carlo run (default 10000 / 0).
-	NumPatterns int
-	Seed        int64
+	flow.Budget
+
 	// UseBatch selects the CPM estimator; false falls back to the local
 	// toggle-probability estimate.
 	UseBatch bool
 	// ProbCap skips constants whose local toggle probability exceeds this
 	// bound (default 0.4).
 	ProbCap float64
-	// MaxIterations caps accepted transformations (0 = unlimited).
-	MaxIterations int
-	// Library provides the area model (default cell.Default()).
-	Library *cell.Library
 }
 
 // Result reports a snap run.
@@ -64,17 +57,12 @@ func (r *Result) AreaRatio() float64 {
 // Run executes the constant-setting flow on a copy of golden.
 func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	start := time.Now()
-	if cfg.Threshold < 0 {
-		return nil, errors.New("snap: negative threshold")
-	}
-	if cfg.NumPatterns == 0 {
-		cfg.NumPatterns = 10000
-	}
+	cfg.Budget.FillDefaults()
 	if cfg.ProbCap == 0 {
 		cfg.ProbCap = 0.4
 	}
-	if cfg.Library == nil {
-		cfg.Library = cell.Default()
+	if err := cfg.Budget.Validate("snap"); err != nil {
+		return nil, err
 	}
 	if cfg.Metric == core.MetricAEM && golden.NumOutputs() > 63 {
 		return nil, fmt.Errorf("snap: AEM flow needs <= 63 outputs, have %d", golden.NumOutputs())

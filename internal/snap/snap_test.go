@@ -6,12 +6,19 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 )
 
 func TestSnapRespectsThreshold(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 1, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        1,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +35,13 @@ func TestSnapRespectsThreshold(t *testing.T) {
 func TestSnapReducesArea(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 2, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        2,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -42,13 +55,25 @@ func TestSnapReducesArea(t *testing.T) {
 func TestSnapBatchBeatsLocal(t *testing.T) {
 	golden := bench.MUL(4)
 	batch, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 3000,
+			Seed:        3,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	local, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: false,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 3000,
+			Seed:        3,
+		},
+		UseBatch: false,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +86,13 @@ func TestSnapBatchBeatsLocal(t *testing.T) {
 func TestSnapAEM(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricAEM, Threshold: 2.0, NumPatterns: 3000, Seed: 4, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricAEM,
+			Threshold:   2.0,
+			NumPatterns: 3000,
+			Seed:        4,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +108,13 @@ func TestSnapAEM(t *testing.T) {
 func TestSnapZeroThreshold(t *testing.T) {
 	golden := bench.RCA(6)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0, NumPatterns: 1000, Seed: 5, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0,
+			NumPatterns: 1000,
+			Seed:        5,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,15 +125,21 @@ func TestSnapZeroThreshold(t *testing.T) {
 }
 
 func TestSnapErrors(t *testing.T) {
-	if _, err := Run(bench.RCA(4), Config{Threshold: -0.1}); err == nil {
+	if _, err := Run(bench.RCA(4), Config{Budget: flow.Budget{Threshold: -0.1}}); err == nil {
 		t.Fatal("negative threshold accepted")
 	}
 }
 
 func TestSnapMaxIterations(t *testing.T) {
 	res, err := Run(bench.MUL(4), Config{
-		Metric: core.MetricER, Threshold: 0.1, NumPatterns: 1000, Seed: 6,
-		UseBatch: true, MaxIterations: 3,
+		Budget: flow.Budget{
+			Metric:        core.MetricER,
+			Threshold:     0.1,
+			NumPatterns:   1000,
+			Seed:          6,
+			MaxIterations: 3,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -18,7 +18,6 @@
 package wu
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -27,25 +26,20 @@ import (
 	"batchals/internal/circuit"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 	"batchals/internal/sim"
 )
 
-// Config parameterises a run.
+// Config parameterises a run. The shared budget fields (Metric, Threshold,
+// NumPatterns, Seed, Library, MaxIterations) come from the embedded
+// flow.Budget.
 type Config struct {
-	// Metric and Threshold define the error budget.
-	Metric    core.Metric
-	Threshold float64
-	// NumPatterns and Seed control the Monte Carlo run (default 10000/0).
-	NumPatterns int
-	Seed        int64
+	flow.Budget
+
 	// UseBatch selects the CPM estimator (true, default behaviour of the
 	// modified flow) or the local toggle-probability estimate (false, the
 	// original flow's local error model).
 	UseBatch bool
-	// MaxIterations caps accepted deletions (0 = unlimited).
-	MaxIterations int
-	// Library provides the area model (default cell.Default()).
-	Library *cell.Library
 }
 
 // Result reports a run.
@@ -77,14 +71,9 @@ type candidate struct {
 // Run executes the literal-removal flow on a copy of golden.
 func Run(golden *circuit.Network, cfg Config) (*Result, error) {
 	start := time.Now()
-	if cfg.Threshold < 0 {
-		return nil, errors.New("wu: negative threshold")
-	}
-	if cfg.NumPatterns == 0 {
-		cfg.NumPatterns = 10000
-	}
-	if cfg.Library == nil {
-		cfg.Library = cell.Default()
+	cfg.Budget.FillDefaults()
+	if err := cfg.Budget.Validate("wu"); err != nil {
+		return nil, err
 	}
 	if cfg.Metric == core.MetricAEM && golden.NumOutputs() > 63 {
 		return nil, fmt.Errorf("wu: AEM flow needs <= 63 outputs, have %d", golden.NumOutputs())

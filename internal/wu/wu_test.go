@@ -6,12 +6,19 @@ import (
 	"batchals/internal/bench"
 	"batchals/internal/core"
 	"batchals/internal/emetric"
+	"batchals/internal/flow"
 )
 
 func TestWuRespectsThreshold(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 1, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        1,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +38,13 @@ func TestWuRespectsThreshold(t *testing.T) {
 func TestWuReducesArea(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.05, NumPatterns: 2000, Seed: 2, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        2,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,13 +58,25 @@ func TestWuReducesArea(t *testing.T) {
 func TestWuBatchAtLeastAsGoodAsLocal(t *testing.T) {
 	golden := bench.MUL(4)
 	batch, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 3000,
+			Seed:        3,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	local, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.03, NumPatterns: 3000, Seed: 3, UseBatch: false,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.03,
+			NumPatterns: 3000,
+			Seed:        3,
+		},
+		UseBatch: false,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +89,13 @@ func TestWuBatchAtLeastAsGoodAsLocal(t *testing.T) {
 func TestWuZeroThreshold(t *testing.T) {
 	golden := bench.RCA(6)
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0, NumPatterns: 1000, Seed: 4, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0,
+			NumPatterns: 1000,
+			Seed:        4,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +108,13 @@ func TestWuZeroThreshold(t *testing.T) {
 func TestWuAEM(t *testing.T) {
 	golden := bench.MUL(4)
 	res, err := Run(golden, Config{
-		Metric: core.MetricAEM, Threshold: 2, NumPatterns: 2000, Seed: 5, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricAEM,
+			Threshold:   2,
+			NumPatterns: 2000,
+			Seed:        5,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,8 +126,14 @@ func TestWuAEM(t *testing.T) {
 
 func TestWuMaxIterations(t *testing.T) {
 	res, err := Run(bench.MUL(4), Config{
-		Metric: core.MetricER, Threshold: 0.1, NumPatterns: 1000, Seed: 6,
-		UseBatch: true, MaxIterations: 2,
+		Budget: flow.Budget{
+			Metric:        core.MetricER,
+			Threshold:     0.1,
+			NumPatterns:   1000,
+			Seed:          6,
+			MaxIterations: 2,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +144,7 @@ func TestWuMaxIterations(t *testing.T) {
 }
 
 func TestWuErrors(t *testing.T) {
-	if _, err := Run(bench.RCA(4), Config{Threshold: -1}); err == nil {
+	if _, err := Run(bench.RCA(4), Config{Budget: flow.Budget{Threshold: -1}}); err == nil {
 		t.Fatal("negative threshold accepted")
 	}
 }
@@ -114,7 +157,13 @@ func TestWuOnSynthetic(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := Run(golden, Config{
-		Metric: core.MetricER, Threshold: 0.02, NumPatterns: 1000, Seed: 7, UseBatch: true,
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.02,
+			NumPatterns: 1000,
+			Seed:        7,
+		},
+		UseBatch: true,
 	})
 	if err != nil {
 		t.Fatal(err)

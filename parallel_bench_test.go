@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"batchals/internal/bench"
+	"batchals/internal/flow"
 	"batchals/internal/sasimi"
 )
 
@@ -32,11 +33,13 @@ const parEstPatterns = 4096
 
 func parEstimateOnce(b *testing.B, golden *Network, workers int) {
 	cands, err := sasimi.EstimateAll(golden, golden.Clone(), sasimi.Config{
-		Metric:      ErrorRate,
-		Threshold:   0.05,
-		NumPatterns: parEstPatterns,
-		Seed:        1,
-		Workers:     workers,
+		Budget: flow.Budget{
+			Metric:      ErrorRate,
+			Threshold:   0.05,
+			NumPatterns: parEstPatterns,
+			Seed:        1,
+		},
+		Workers: workers,
 	})
 	if err != nil {
 		b.Fatal(err)
