@@ -128,7 +128,7 @@ func TestFacadeApproximateContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := ApproximateContext(ctx, golden, Options{Threshold: 0.05, NumPatterns: 500})
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 	if res == nil || res.NumIterations != 0 {

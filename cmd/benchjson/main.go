@@ -195,7 +195,7 @@ func compare(baselinePath string, fresh []Bench) error {
 	}
 	var base Baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("%s: %v", baselinePath, err)
+		return fmt.Errorf("%s: %w", baselinePath, err)
 	}
 	got := map[string]Bench{}
 	for _, b := range fresh {

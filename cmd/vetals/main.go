@@ -1,5 +1,6 @@
-// Command vetals runs the repo's custom Go-level analyzers
-// (internal/lint: bitveclen, randseed, apipanic). It speaks two dialects:
+// Command vetals runs the repo's custom Go-level analyzers (internal/lint:
+// bitveclen, randseed, apipanic, ctxflow, sharddisjoint, invalidation,
+// allocfree, errwrap). It speaks two dialects:
 //
 // As a vet tool, implementing the cmd/go unitchecker protocol — the -V=full
 // and -flags probes plus the JSON .cfg package description — so the whole
@@ -8,80 +9,100 @@
 //	go build -o bin/vetals ./cmd/vetals
 //	go vet -vettool=bin/vetals ./...
 //
-// Standalone, walking the module without the go command:
+// Standalone, walking the module without invoking go vet:
 //
 //	vetals ./...
+//	vetals -json ./...   # diagnostics as JSONL for cross-commit diffing
 //
 // The protocol is implemented by hand because the container build vendors
-// no third-party modules (golang.org/x/tools is unavailable); the analyzers
-// are purely syntactic, so no export data or facts are needed — the .vetx
-// facts file the driver expects is written empty.
+// no third-party modules (golang.org/x/tools is unavailable). Since PR 6
+// both dialects are type-aware: the unitchecker path type-checks each unit
+// against the export data cmd/go already compiled for its dependencies
+// (cfg.PackageFile/ImportMap), and the standalone path loads the whole
+// module with lint.Loader (source type-check in dependency order, stdlib
+// via `go list -export`). Analyzers are fact-free, so the .vetx facts file
+// the driver expects is written empty.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"batchals/internal/lint"
 )
 
 func main() {
-	args := os.Args[1:]
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	jsonOut := false
+	var rest []string
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "-V":
 			// Probe from cmd/go's tool-ID computation: the reply must be
 			// "<name> version <id>".
-			fmt.Println("vetals version v1")
-			return
+			fmt.Fprintln(stdout, "vetals version v2")
+			return 0
 		case arg == "-flags":
 			// Probe from cmd/go's flag parser: JSON list of tool flags.
-			fmt.Println("[]")
-			return
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		default:
+			rest = append(rest, arg)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheckerMode(args[0]))
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheckerMode(rest[0], stderr)
 	}
-	os.Exit(standaloneMode(args))
+	return standaloneMode(rest, jsonOut, stdout, stderr)
 }
 
 // vetConfig mirrors the fields of the unitchecker JSON package description
-// this tool needs; unknown fields are ignored.
+// this tool needs; unknown fields are ignored. ImportMap translates source
+// import paths to canonical package paths; PackageFile maps canonical
+// paths to the export data cmd/go compiled for the build.
 type vetConfig struct {
-	ID         string
-	Dir        string
-	ImportPath string
-	GoFiles    []string
-	VetxOnly   bool
-	VetxOutput string
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
 }
 
 // unitcheckerMode analyses one package described by a cmd/go .cfg file.
 // Exit status: 0 clean, 2 diagnostics, 1 operational failure.
-func unitcheckerMode(cfgPath string) int {
+func unitcheckerMode(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vetals:", err)
+		fmt.Fprintln(stderr, "vetals:", err)
 		return 1
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "vetals: %s: %v\n", cfgPath, err)
+		fmt.Fprintf(stderr, "vetals: %s: %v\n", cfgPath, err)
 		return 1
 	}
 	// The driver caches analysis facts in a .vetx file and requires it to
 	// exist; the analyzers are fact-free, so an empty file suffices.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "vetals:", err)
+			fmt.Fprintln(stderr, "vetals:", err)
 			return 1
 		}
 	}
@@ -102,9 +123,9 @@ func unitcheckerMode(cfgPath string) int {
 		if !filepath.IsAbs(gf) {
 			gf = filepath.Join(cfg.Dir, gf)
 		}
-		f, err := parser.ParseFile(fset, gf, nil, 0)
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vetals:", err)
+			fmt.Fprintln(stderr, "vetals:", err)
 			return 1
 		}
 		if pkgName == "" {
@@ -112,9 +133,12 @@ func unitcheckerMode(cfgPath string) int {
 		}
 		files = append(files, f)
 	}
-	diags := lint.Run(fset, pkgPath, pkgName, files, lint.All())
+
+	unit := &lint.Unit{Fset: fset, PkgPath: pkgPath, PkgName: pkgName, Files: files}
+	typeCheckUnit(unit, &cfg, fset, files)
+	diags := lint.RunUnit(unit, lint.All())
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2
@@ -122,121 +146,104 @@ func unitcheckerMode(cfgPath string) int {
 	return 0
 }
 
-// standaloneMode walks the module rooted at the working directory (or the
-// nearest parent with a go.mod) and analyses every package. Patterns are
-// accepted for familiarity but only "./..." semantics are implemented.
-func standaloneMode(args []string) int {
-	root, module, err := findModule()
+// typeCheckUnit types the unit's files against the export data cmd/go
+// compiled for its dependencies. cmd/go vets a package only after its
+// dependencies built, so the export files exist; a failure here degrades
+// the unit to syntax-only (type-aware analyzers no-op) rather than
+// breaking the vet run.
+func typeCheckUnit(u *lint.Unit, cfg *vetConfig, fset *token.FileSet, files []*ast.File) {
+	if len(cfg.PackageFile) == 0 {
+		return
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("vetals: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+	}
+	pkg, _ := conf.Check(u.PkgPath, fset, files, info)
+	u.Pkg, u.Info = pkg, info
+}
+
+// standaloneMode loads the module rooted at the working directory (or the
+// nearest parent with a go.mod) with full type information and analyses
+// every unit. Patterns are accepted for familiarity but only "./..."
+// semantics are implemented. Exit status: 0 clean, 2 diagnostics, 1
+// operational failure (including units that fail to type-check).
+func standaloneMode(args []string, jsonOut bool, stdout, stderr io.Writer) int {
+	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vetals:", err)
+		fmt.Fprintln(stderr, "vetals:", err)
 		return 1
 	}
 	_ = args // everything under the module is checked
 
-	fset := token.NewFileSet()
-	var all []lint.Diagnostic
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		switch d.Name() {
-		case ".git", ".github", "testdata", "vendor":
-			return filepath.SkipDir
-		}
-		diags, derr := analyzeDir(fset, root, module, path)
-		if derr != nil {
-			return derr
-		}
-		all = append(all, diags...)
-		return nil
-	})
+	loader := &lint.Loader{Root: root, GoListDir: root}
+	units, err := loader.Load()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vetals:", err)
+		fmt.Fprintln(stderr, "vetals:", err)
 		return 1
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Pos, all[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	broken := 0
+	var all []lint.Diagnostic
+	for _, u := range units {
+		for _, terr := range u.TypeErrors {
+			broken++
+			fmt.Fprintf(stderr, "vetals: %s: %v\n", u.PkgPath, terr)
 		}
-		return a.Offset < b.Offset
-	})
-	for _, d := range all {
-		fmt.Println(d)
+		all = append(all, lint.RunUnit(u, lint.All())...)
 	}
-	if len(all) > 0 {
+	lint.SortDiagnostics(all)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range all {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintln(stderr, "vetals:", err)
+				return 1
+			}
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	switch {
+	case broken > 0:
+		return 1
+	case len(all) > 0:
 		return 2
 	}
 	return 0
 }
 
-// analyzeDir parses the .go files of one directory, groups them by package
-// clause (a directory may hold both pkg and pkg_test) and runs the
-// analyzers on each group.
-func analyzeDir(fset *token.FileSet, root, module, dir string) ([]lint.Diagnostic, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	groups := map[string][]*ast.File{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
-		if err != nil {
-			return nil, err
-		}
-		groups[f.Name.Name] = append(groups[f.Name.Name], f)
-	}
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	pkgPath := module
-	if rel != "." {
-		pkgPath = module + "/" + filepath.ToSlash(rel)
-	}
-	var diags []lint.Diagnostic
-	for _, names := range sortedKeys(groups) {
-		diags = append(diags, lint.Run(fset, pkgPath, names, groups[names], lint.All())...)
-	}
-	return diags, nil
-}
-
-func sortedKeys(m map[string][]*ast.File) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// findModule locates the enclosing go.mod and returns its directory and
-// module path.
-func findModule() (root, module string, err error) {
+// findModuleRoot locates the enclosing go.mod and returns its directory.
+func findModuleRoot() (string, error) {
 	dir, err := os.Getwd()
 	if err != nil {
-		return "", "", err
+		return "", err
 	}
 	for {
-		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
-		if rerr == nil {
-			for _, line := range strings.Split(string(data), "\n") {
-				line = strings.TrimSpace(line)
-				if strings.HasPrefix(line, "module ") {
-					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
-				}
-			}
-			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {
-			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+			return "", fmt.Errorf("no go.mod found above the working directory")
 		}
 		dir = parent
 	}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test and restores it.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestProbes(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, os.Stderr); code != 0 {
+		t.Fatalf("-V=full exit = %d, want 0", code)
+	}
+	if got := out.String(); !strings.HasPrefix(got, "vetals version ") {
+		t.Errorf("-V=full output = %q, want 'vetals version ...'", got)
+	}
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, os.Stderr); code != 0 {
+		t.Fatalf("-flags exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("-flags output = %q, want []", got)
+	}
+}
+
+// TestNegativeFixtures runs standalone mode inside each golden fixture
+// mini-module and requires exit status 2: the seeded violations must be
+// reported as diagnostics, not type errors (status 1) and not silence
+// (status 0). This is the CLI-level half of the acceptance criterion the
+// in-process golden tests cover analyzer-by-analyzer.
+func TestNegativeFixtures(t *testing.T) {
+	fixtures := []string{
+		"bitveclen", "randseed", "apipanic", "ctxflow",
+		"sharddisjoint", "invalidation", "allocfree", "errwrap",
+	}
+	base, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx, func(t *testing.T) {
+			chdir(t, filepath.Join(base, fx))
+			var out, errb bytes.Buffer
+			code := run(nil, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+			}
+			if !strings.Contains(out.String(), fx) {
+				t.Errorf("diagnostics should mention analyzer %q:\n%s", fx, out.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput checks that -json emits one well-formed JSON object per
+// diagnostic and nothing else on stdout.
+func TestJSONOutput(t *testing.T) {
+	chdir(t, filepath.Join("..", "..", "internal", "lint", "testdata", "errwrap"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-json"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSONL output")
+	}
+	for _, ln := range lines {
+		var d struct {
+			Analyzer string
+			Message  string
+			Pos      struct {
+				Filename string
+				Line     int
+			}
+		}
+		if err := json.Unmarshal([]byte(ln), &d); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if d.Analyzer != "errwrap" || d.Message == "" || d.Pos.Filename == "" || d.Pos.Line == 0 {
+			t.Errorf("incomplete diagnostic %q", ln)
+		}
+	}
+}
+
+// TestTreeIsClean runs standalone mode over the whole repository and
+// requires a clean exit — the same gate CI enforces.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check load in -short mode")
+	}
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("vetals on the tree exit = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+}

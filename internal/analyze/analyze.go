@@ -112,6 +112,7 @@ func Run(n *circuit.Network) *Report {
 	checkStructure(n, r)
 
 	r.FFR = ComputeFFRs(n)
+	checkDeadFFRs(n, r.FFR, r)
 	r.add("ffr", SevInfo, circuit.InvalidNode,
 		"%d fanout-free regions over %d live nodes (largest %d nodes)",
 		r.FFR.NumRegions(), n.NumNodes(), r.FFR.LargestSize())

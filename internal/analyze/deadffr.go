@@ -1,0 +1,51 @@
+package analyze
+
+import "batchals/internal/circuit"
+
+// checkDeadFFRs flags live nodes whose every distinct fanout lies in a
+// dead fanout-free region — a region whose root cannot reach any primary
+// output. The per-node unreachable pass already reports the dead nodes
+// themselves; this pass reports the frontier feeding them: a node that is
+// on an output path (typically because it is bound to a primary output)
+// yet fans out only into logic that computes nothing observable. That
+// shape almost always means the dead region was supposed to be connected
+// somewhere, so it is worth a separate, aggregated finding at the
+// boundary instead of one warning per dead gate.
+//
+// Regions are uniformly dead or live: inside an FFR every node forwards
+// its value through a unique consumer chain to the root, so a node
+// reaches an output iff its root does. That makes "fanout is in a dead
+// region" equivalent to "fanout's FFR root is unreachable".
+func checkDeadFFRs(n *circuit.Network, f *FFRs, r *Report) {
+	reach := reachableFromOutputs(n)
+
+	var hits []circuit.NodeID
+	for _, id := range n.LiveNodes() {
+		if !reach[id] {
+			continue // already covered by the unreachable/dangling passes
+		}
+		fos := distinctFanouts(n, id)
+		if len(fos) == 0 {
+			continue
+		}
+		allDead := true
+		for _, fo := range fos {
+			root := f.Root(fo)
+			if root == circuit.InvalidNode || reach[root] {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			hits = append(hits, id)
+		}
+	}
+	sortIDs(hits)
+
+	for _, id := range hits {
+		fos := distinctFanouts(n, id)
+		r.add("dead-ffr", SevWarning, id,
+			"node %s fans out only into dead fanout-free regions (%d fanout(s), first region rooted at %s); the dead logic was likely meant to be connected",
+			n.NameOf(id), len(fos), n.NameOf(f.Root(fos[0])))
+	}
+}

@@ -1,0 +1,83 @@
+package analyze_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"batchals/internal/analyze"
+	"batchals/internal/benchfmt"
+	"batchals/internal/circuit"
+)
+
+// TestDeadFFRFixture checks the golden fixture: g1 drives the output and
+// fans out only into the dead region {g2, g3}, so it must carry the one
+// dead-ffr finding; the dead nodes themselves stay with the unreachable
+// and dangling passes.
+func TestDeadFFRFixture(t *testing.T) {
+	f, err := os.Open("testdata/deadffr.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := benchfmt.Parse(f, "deadffr")
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+
+	rep := analyze.Run(n)
+	var deadFFR []analyze.Diagnostic
+	for _, d := range rep.Diags {
+		if d.Pass == "dead-ffr" {
+			deadFFR = append(deadFFR, d)
+		}
+	}
+	if len(deadFFR) != 1 {
+		t.Fatalf("want exactly 1 dead-ffr finding, got %d: %v", len(deadFFR), rep.Diags)
+	}
+	d := deadFFR[0]
+	if d.Sev != analyze.SevWarning {
+		t.Errorf("dead-ffr severity = %v, want warning", d.Sev)
+	}
+	if d.Node != n.FindByName("g1") {
+		t.Errorf("dead-ffr flagged node %s, want g1", n.NameOf(d.Node))
+	}
+	if !strings.Contains(d.Msg, "g3") {
+		t.Errorf("dead-ffr message should name the region root g3, got %q", d.Msg)
+	}
+	if rep.Errors() != 0 {
+		t.Errorf("fixture should have no error-level findings, got %v", rep.Diags)
+	}
+}
+
+// TestDeadFFRCleanCircuit checks that a fully live circuit (c17) produces
+// no dead-ffr findings.
+func TestDeadFFRCleanCircuit(t *testing.T) {
+	n := parseC17(t)
+	rep := analyze.Run(n)
+	for _, d := range rep.Diags {
+		if d.Pass == "dead-ffr" {
+			t.Errorf("c17 should be dead-ffr clean, got %v", d)
+		}
+	}
+}
+
+// TestDeadFFRRequiresAllFanoutsDead checks that a node with one live and
+// one dead fanout is not flagged: only nodes whose entire fanout is dead
+// mark the frontier.
+func TestDeadFFRRequiresAllFanoutsDead(t *testing.T) {
+	n := circuit.New("mixed")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(circuit.KindAnd, a, b)
+	live := n.AddGate(circuit.KindOr, g1, a) // live consumer of g1
+	n.AddGate(circuit.KindXor, g1, b)        // dead consumer of g1
+	n.AddOutput("f", live)
+
+	rep := analyze.Run(n)
+	for _, d := range rep.Diags {
+		if d.Pass == "dead-ffr" {
+			t.Errorf("g1 has a live fanout and must not be flagged, got %v", d)
+		}
+	}
+}

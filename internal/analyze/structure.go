@@ -7,25 +7,7 @@ import "batchals/internal/circuit"
 // floating (constant-driven) outputs and unused primary inputs. Appends
 // diagnostics to r.
 func checkStructure(n *circuit.Network, r *Report) {
-	// Mark everything in the fanin cone of some primary output.
-	reach := make([]bool, n.NumSlots())
-	var stack []circuit.NodeID
-	for _, o := range n.Outputs() {
-		if !reach[o.Node] {
-			reach[o.Node] = true
-			stack = append(stack, o.Node)
-		}
-	}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, f := range n.Fanins(id) {
-			if !reach[f] {
-				reach[f] = true
-				stack = append(stack, f)
-			}
-		}
-	}
+	reach := reachableFromOutputs(n)
 
 	if n.NumOutputs() == 0 {
 		r.add("structure", SevError, circuit.InvalidNode, "network %q has no primary outputs", n.Name)
@@ -66,6 +48,34 @@ func checkStructure(n *circuit.Network, r *Report) {
 		r.add("unused-input", SevInfo, id, "primary input %s is never used", n.NameOf(id))
 	}
 
+	checkFloatingOutputs(n, r)
+}
+
+// reachableFromOutputs marks every node in the fanin cone of some primary
+// output. Shared by checkStructure and checkDeadFFRs.
+func reachableFromOutputs(n *circuit.Network) []bool {
+	reach := make([]bool, n.NumSlots())
+	var stack []circuit.NodeID
+	for _, o := range n.Outputs() {
+		if !reach[o.Node] {
+			reach[o.Node] = true
+			stack = append(stack, o.Node)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range n.Fanins(id) {
+			if !reach[f] {
+				reach[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return reach
+}
+
+func checkFloatingOutputs(n *circuit.Network, r *Report) {
 	// Floating outputs: a primary output whose fanin cone contains no
 	// primary input computes a constant — almost always a netlist bug.
 	for i, o := range n.Outputs() {

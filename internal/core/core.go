@@ -68,6 +68,14 @@ type CPM struct {
 	aemU   []uint64
 	aemV   []uint64
 
+	// Scratch buffers of the sequential delta queries (DeltaERCounts,
+	// DeltaAEM), reused across calls to keep the scoring loop
+	// allocation-free. Like aemColumns they make the sequential query
+	// methods single-goroutine only; the concurrent path uses the
+	// *Partial kernels with per-worker state instead.
+	erInc, erDec, erTmp *bitvec.Vec
+	aemReached          []aemReach
+
 	// restricted marks a CPM built by BuildForOutputs: its output axis is
 	// a subset, so the whole-circuit error queries are unavailable.
 	restricted bool
@@ -256,6 +264,8 @@ func (c *CPM) DeltaER(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) 
 // counts are what the statistical confidence layer (obs.Wilson /
 // obs.Hoeffding) consumes — DeltaER's normalised float erases the sample
 // size the interval math needs.
+//
+//als:allocfree
 func (c *CPM) DeltaERCounts(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) (incCount, decCount int64) {
 	if c.restricted {
 		panic("core: DeltaER on an output-restricted CPM")
@@ -264,18 +274,23 @@ func (c *CPM) DeltaERCounts(nx circuit.NodeID, change *bitvec.Vec, st *emetric.S
 	if !change.Any() {
 		return 0, 0
 	}
+	if c.erInc == nil {
+		c.erInc = bitvec.New(c.m)
+		c.erDec = bitvec.New(c.m)
+		c.erTmp = bitvec.New(c.m)
+	}
 	// Case 2 (Lines 10-11): previously fully correct pattern, flip reaches
 	// some output -> newly wrong.
-	inc := bitvec.New(c.m)
+	inc := c.erInc
 	inc.AndNot(change, st.WrongAny)
 	inc.And(inc, c.AnyProp(nx))
 
 	// Case 1 (Lines 7-9): previously wrong pattern where the flip reaches
 	// exactly the wrong outputs and no correct one -> fully corrected.
-	dec := bitvec.New(c.m)
+	dec := c.erDec
 	dec.And(change, st.WrongAny)
 	if dec.Any() {
-		tmp := bitvec.New(c.m)
+		tmp := c.erTmp
 		row := c.p[nx]
 		for o := 0; o < c.o && dec.Any(); o++ {
 			// Keep patterns where P and W agree on output o.
@@ -320,12 +335,22 @@ func (c *CPM) aemColumns(st *emetric.State) {
 	c.aemFor = st
 }
 
+// aemReach is one output the candidate's flip can reach: its bit in the
+// packed output word plus the propagation row's word slice. The gather
+// buffer lives on the CPM (aemReached) so the scoring loop reuses it.
+type aemReach struct {
+	bit   uint64
+	words []uint64
+}
+
 // DeltaAEM estimates the increased average error magnitude of an AT, per
 // Section 4.3: for each pattern where nx flips, the predicted new output
 // word Y_chg is the previous approximate word with the CPM-propagated bits
 // flipped, and the contribution is |Y_chg−Y_org| − |Y_pre−Y_org|. The
 // result is normalised by M (it is an average), and may be negative.
 // Requires at most 63 outputs.
+//
+//als:allocfree
 func (c *CPM) DeltaAEM(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State) float64 {
 	if c.restricted {
 		panic("core: DeltaAEM on an output-restricted CPM")
@@ -341,22 +366,20 @@ func (c *CPM) DeltaAEM(nx circuit.NodeID, change *bitvec.Vec, st *emetric.State)
 	row := c.p[nx]
 
 	// Only outputs the flip can reach under some changed pattern matter;
-	// gather their word slices once.
-	type reach struct {
-		bit   uint64
-		words []uint64
-	}
-	var reached []reach
+	// gather their word slices once into the reusable buffer (the append
+	// grows it to at most c.o entries on the first calls, then reuses).
+	reached := c.aemReached[:0]
 	cw := change.WordsSlice()
 	for o := 0; o < c.o; o++ {
 		pw := row[o].WordsSlice()
 		for w := range cw {
 			if cw[w]&pw[w] != 0 {
-				reached = append(reached, reach{bit: 1 << uint(o), words: pw})
+				reached = append(reached, aemReach{bit: 1 << uint(o), words: pw}) //als:alloc-ok amortised grow, capped at c.o
 				break
 			}
 		}
 	}
+	c.aemReached = reached
 	if len(reached) == 0 {
 		return 0
 	}

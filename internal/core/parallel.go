@@ -153,6 +153,8 @@ func (c *CPM) EnsureAEMColumns(st *emetric.State) {
 // only skip words whose partial is already zero.
 //
 // Safe to call from concurrent workers (AnyProp faults in atomically).
+//
+//als:allocfree
 func (c *CPM) DeltaERPartial(nx circuit.NodeID, chg []uint64, st *emetric.State, w0, w1 int) (inc, dec int64) {
 	if c.restricted {
 		panic("core: DeltaERPartial on an output-restricted CPM")
@@ -187,6 +189,8 @@ func (c *CPM) DeltaERPartial(nx circuit.NodeID, chg []uint64, st *emetric.State,
 // for its patterns, so the restriction is result-identical.
 //
 // EnsureAEMColumns(st) must have been called (from one goroutine) first.
+//
+//als:allocfree
 func (c *CPM) DeltaAEMPartial(nx circuit.NodeID, chg []uint64, st *emetric.State, w0, w1 int) float64 {
 	if c.restricted {
 		panic("core: DeltaAEMPartial on an output-restricted CPM")
@@ -199,21 +203,23 @@ func (c *CPM) DeltaAEMPartial(nx circuit.NodeID, chg []uint64, st *emetric.State
 	}
 	statPartialAEM.Inc()
 	row := c.p[nx]
-	type reach struct {
-		bit   uint64
-		words []uint64
-	}
-	var reached []reach
+	// The reached-output gather lives in a fixed-size stack array (c.o is
+	// capped at 63 above): the kernel runs per candidate per shard, so a
+	// heap slice here would dominate the scoring loop's allocation profile,
+	// and per-worker scratch cannot live on the shared CPM.
+	var reached [63]aemReach
+	nr := 0
 	for o := 0; o < c.o; o++ {
 		pw := row[o].WordsSlice()
 		for w := w0; w < w1; w++ {
 			if chg[w]&pw[w] != 0 {
-				reached = append(reached, reach{bit: 1 << uint(o), words: pw})
+				reached[nr] = aemReach{bit: 1 << uint(o), words: pw}
+				nr++
 				break
 			}
 		}
 	}
-	if len(reached) == 0 {
+	if nr == 0 {
 		return 0
 	}
 	var total float64
@@ -224,7 +230,7 @@ func (c *CPM) DeltaAEMPartial(nx circuit.NodeID, chg []uint64, st *emetric.State
 			i := w*bitvec.WordBits + bits.TrailingZeros64(b)
 			word ^= b
 			var flip uint64
-			for _, r := range reached {
+			for _, r := range reached[:nr] {
 				if r.words[w]&b != 0 {
 					flip |= r.bit
 				}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocFree flags heap-allocating constructs inside functions annotated
+// with an //als:allocfree doc directive — the hot paths pinned to zero
+// allocations by AllocsPerRun tests (the nil-tracer scoring loop, the
+// shard partial-query kernels). The benchmark pins only report *that* a
+// path allocated; this analyzer points at *which* construct did, making
+// regressions debuggable at review time instead of bisect time.
+//
+// Flagged constructs: make, new, append, function literals (closure
+// environments escape), &composite literals, and slice/map composite
+// literals. Struct value literals are not flagged — they stay on the
+// stack unless something else (which is flagged) moves them. A construct
+// on a line carrying //als:alloc-ok is an acknowledged allocation (e.g. a
+// one-time warm-up or an amortised grow) that the pin's baseline absorbs.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "//als:allocfree functions must not contain heap-allocating constructs",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(p *Pass) {
+	if p.TypesInfo == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "als:allocfree") {
+				continue
+			}
+			p.checkAllocFree(fn)
+		}
+	}
+}
+
+func (p *Pass) checkAllocFree(fn *ast.FuncDecl) {
+	report := func(n ast.Node, what string) {
+		if p.suppressed(n.Pos(), "als:alloc-ok") {
+			return
+		}
+		p.Reportf(n.Pos(), "%s in //als:allocfree function %s allocates; hoist it to a scratch buffer or acknowledge with //als:alloc-ok", what, fn.Name.Name)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name := p.builtinName(x.Fun); name == "make" || name == "new" || name == "append" {
+				report(x, name)
+			}
+		case *ast.FuncLit:
+			report(x, "function literal")
+			// Still descend: allocations inside the closure body run on the
+			// annotated path too.
+		case *ast.UnaryExpr:
+			if _, ok := x.X.(*ast.CompositeLit); ok {
+				report(x, "&composite literal")
+			}
+		case *ast.CompositeLit:
+			if t := p.typeOf(x); t != nil {
+				switch types.Unalias(t).Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(x, "slice/map literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// builtinName returns the name of the predeclared builtin a call invokes,
+// or "".
+func (p *Pass) builtinName(fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := p.objectOf(id).(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}

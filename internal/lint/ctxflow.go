@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the repo's cancellation contract: a function that
+// receives a context.Context and dispatches pool work must keep the
+// context flowing. Two patterns break the chain and are flagged:
+//
+//   - calling the ctx-less par.Pool.Do — the fan-out becomes
+//     uncancellable even though the caller handed us a context;
+//   - passing context.Background() or context.TODO() directly as a call
+//     argument — the received context is silently dropped.
+//
+// Assigning Background/TODO to a variable (the `if ctx == nil { ctx =
+// context.Background() }` nil-guard in the parallel gather path) is
+// deliberate and allowed. State-mutating phases that must run to
+// completion once started (Engine.Apply, CPM.Refresh, the builders) take
+// no context and are out of scope by construction. Findings on a line
+// carrying an //als:ctx-ok comment are acknowledged exceptions. Test
+// files are exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-receiving functions must use DoCtx and pass the context onward",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.TypesInfo == nil {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !p.receivesContext(fn.Type) {
+				continue
+			}
+			p.checkCtxBody(fn.Name.Name, fn.Body)
+		}
+	}
+}
+
+// receivesContext reports whether the function type declares a parameter
+// that carries a context.Context — either directly, or as a field of a
+// parameter struct (the iterContext pattern): in both cases the function
+// has a live context available and must not sever the chain.
+func (p *Pass) receivesContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := p.typeOf(field.Type)
+		if isNamed(t, "context", "Context") || carriesContextField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesContextField reports whether t (after stripping pointers) is a
+// struct with a field of type context.Context.
+func carriesContextField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNamed(st.Field(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkCtxBody(name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals get their own contract: if they also
+		// receive a context they are checked independently; if not, the
+		// enclosing function's context legitimately crosses into them via
+		// capture, so keep descending.
+		if lit, ok := n.(*ast.FuncLit); ok && p.receivesContext(lit.Type) {
+			p.checkCtxBody(name+" (func literal)", lit.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := p.calleeFunc(call); fn != nil {
+			if fn.Name() == "Do" && isMethodOf(fn, "batchals/internal/par", "Pool") &&
+				!p.suppressed(call.Pos(), "als:ctx-ok") {
+				p.Reportf(call.Pos(), "%s receives a context.Context but calls Pool.Do; use DoCtx so the fan-out stays cancellable", name)
+			}
+		}
+		// A fresh Background/TODO handed directly to a callee drops the
+		// received context on the floor.
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := p.calleeFunc(inner)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				continue
+			}
+			if (fn.Name() == "Background" || fn.Name() == "TODO") &&
+				!p.suppressed(inner.Pos(), "als:ctx-ok") {
+				p.Reportf(inner.Pos(), "%s receives a context.Context but passes context.%s() onward; thread the received context instead", name, fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isMethodOf reports whether fn is a method whose receiver (after
+// stripping pointers) is the named type path.typeName.
+func isMethodOf(fn *types.Func, path, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), path, typeName)
+}

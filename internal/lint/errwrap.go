@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error discipline from the flow package
+// (ErrBadThreshold, ErrNoPatterns, ErrUnknownBenchmark) and the standard
+// library's own sentinels (context.Canceled, io.EOF): values that travel
+// through wrapping layers must be wrapped with %w and matched with
+// errors.Is. Two patterns are flagged:
+//
+//   - comparing any package-level error variable with == or != (a wrapped
+//     value never compares equal, so the check silently stops matching
+//     the moment a layer adds context);
+//   - passing an error argument to fmt.Errorf whose format verb set lacks
+//     %w (the sentinel identity is stringified away and errors.Is on the
+//     result stops working).
+//
+// Unlike most repo analyzers this one runs on test files too — the known
+// tree findings were exactly `err == context.Canceled` assertions in
+// tests. //als:errcmp-ok on the line acknowledges an intentional
+// identity comparison.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors are wrapped with %w and compared with errors.Is, never ==",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Pass) {
+	if p.TypesInfo == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkErrCompare(x)
+			case *ast.CallExpr:
+				p.checkErrorfWrap(x)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkErrCompare(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	v := p.sentinelErrorVar(be.X)
+	if v == nil {
+		v = p.sentinelErrorVar(be.Y)
+	}
+	if v == nil || p.suppressed(be.Pos(), "als:errcmp-ok") {
+		return
+	}
+	p.Reportf(be.Pos(), "comparing sentinel %s with %s breaks once the error is wrapped; use errors.Is", v.Name(), be.Op)
+}
+
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	if strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if !isErrorType(p.typeOf(arg)) {
+			continue
+		}
+		if p.suppressed(call.Pos(), "als:errcmp-ok") {
+			return
+		}
+		p.Reportf(arg.Pos(), "error passed to fmt.Errorf without %%w; the sentinel identity is lost and errors.Is stops matching")
+		return
+	}
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"batchals/internal/lint"
+	"batchals/internal/lint/linttest"
+)
+
+// TestGolden runs every analyzer against its fixture mini-module under
+// testdata/. Each fixture declares `module batchals` so its stub packages
+// occupy the import paths the type-aware analyzers match on; positive
+// cases carry // want comments, negative cases none — linttest fails on
+// both missed and surplus diagnostics.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *lint.Analyzer
+	}{
+		{"bitveclen", lint.BitvecLen},
+		{"randseed", lint.RandSeed},
+		{"apipanic", lint.APIPanic},
+		{"ctxflow", lint.CtxFlow},
+		{"sharddisjoint", lint.ShardDisjoint},
+		{"invalidation", lint.Invalidation},
+		{"allocfree", lint.AllocFree},
+		{"errwrap", lint.ErrWrap},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel() // each fixture shells out to `go list` once
+			linttest.Run(t, filepath.Join("testdata", tc.dir), tc.analyzer)
+		})
+	}
+}

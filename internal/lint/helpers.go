@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// typeOf returns the type of e, or nil when no type information is
+// available for the pass or the expression.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// objectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, type conversions, indirect calls through function
+// values and missing type information.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isNamed reports whether t (after stripping pointers and aliases) is the
+// named type path.name.
+func isNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == path
+}
+
+// isSliceOf reports whether t is a slice whose element is the given basic
+// kind (e.g. types.Uint64).
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// sentinelErrorVar resolves e to a package-level variable of type error
+// (an errors.New-style sentinel such as flow.ErrBadThreshold or
+// context.Canceled) and returns it, or nil.
+func (p *Pass) sentinelErrorVar(e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := p.objectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return nil
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// hasDirective reports whether the doc comment group contains the given
+// //als:* directive (e.g. "als:allocfree") as its own comment line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether the source line containing pos carries a
+// comment with the given //als:* marker (e.g. "als:alloc-ok"), the
+// line-level acknowledgement convention for known findings.
+func (p *Pass) suppressed(pos token.Pos, marker string) bool {
+	if p.commentIndex == nil {
+		p.commentIndex = map[string]map[int]string{}
+		for _, f := range p.Files {
+			position := p.Fset.Position(f.Pos())
+			lines := map[int]string{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					line := p.Fset.Position(c.Pos()).Line
+					lines[line] += c.Text
+				}
+			}
+			p.commentIndex[position.Filename] = lines
+		}
+	}
+	where := p.Fset.Position(pos)
+	return strings.Contains(p.commentIndex[where.Filename][where.Line], marker)
+}
+
+// funcBodies walks the files of the pass and calls visit for every
+// function declaration and function literal, with the enclosing
+// declaration (nil doc for literals). Test files are included; callers
+// filter with isTestFile when the invariant is production-only.
+func (p *Pass) funcBodies(visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			visit(fn, fn.Body)
+		}
+	}
+}

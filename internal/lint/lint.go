@@ -2,24 +2,41 @@
 // minimal, dependency-free reimplementation of the golang.org/x/tools
 // go/analysis surface (Analyzer / Pass / Reportf). The container build
 // vendors no third-party modules, so the framework is stdlib-only
-// (go/ast + go/parser + go/token); cmd/vetals drives it both standalone
-// and through the `go vet -vettool` unitchecker protocol.
+// (go/ast + go/parser + go/token + go/types + go/importer); cmd/vetals
+// drives it both standalone and through the `go vet -vettool` unitchecker
+// protocol.
 //
-// Three analyzers enforce repo invariants:
+// Since PR 6 the framework is type-aware: packages are loaded with full
+// go/types information (see Loader), and Pass carries TypesInfo/Pkg so
+// analyzers can resolve methods, named types and package-level objects
+// instead of pattern-matching identifiers.
 //
-//   - bitveclen: every bitvec.Vec method that takes another *Vec must
-//     guard against length mismatch (call checkSameLen or compare .n)
-//     before touching word slices.
-//   - randseed:  library packages must not draw from the global math/rand
-//     source — flows are reproducible only through rand.New(rand.NewSource).
-//   - apipanic:  the public (non-internal, non-main) API must not panic;
-//     errors are returned, panics are reserved for internal invariants.
+// Eight analyzers enforce repo invariants:
+//
+//   - bitveclen:     every bitvec.Vec method that takes another *Vec must
+//     guard against length mismatch before touching word slices.
+//   - randseed:      library packages must not draw from the global
+//     math/rand source.
+//   - apipanic:      the public (non-internal, non-main) API must not
+//     panic.
+//   - ctxflow:       a function that receives a context.Context and
+//     dispatches pool work must use DoCtx and pass the context on, never
+//     drop it.
+//   - sharddisjoint: code iterating a par.Shards shard must index word
+//     slices only through that shard's [W0,W1) range.
+//   - invalidation:  writers of core.CPM rows must invalidate the lazy
+//     caches; core.Engine state must be mutated through Apply.
+//   - allocfree:     functions annotated //als:allocfree must not contain
+//     heap-allocating constructs (unless acknowledged by //als:alloc-ok).
+//   - errwrap:       sentinel errors must be wrapped with %w and compared
+//     with errors.Is, never ==.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -30,8 +47,10 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one package's syntax through an analyzer, mirroring
-// go/analysis.Pass (syntax only: the repo's analyzers are all syntactic).
+// Pass carries one package's syntax and type information through an
+// analyzer, mirroring go/analysis.Pass. TypesInfo and Pkg are nil when the
+// unit was loaded without type information (syntax-only mode); analyzers
+// that need types must no-op in that case.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -39,7 +58,16 @@ type Pass struct {
 	PkgName  string // package identifier ("bitvec")
 	Files    []*ast.File
 
+	// Pkg and TypesInfo are the go/types results for the unit the files
+	// belong to. For test units the type-check covers more files than
+	// Files (the whole augmented package), but diagnostics are only
+	// reported against Files.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
 	diags *[]Diagnostic
+
+	commentIndex map[string]map[int]string // filename -> line -> comment text
 }
 
 // Reportf records a diagnostic at pos.
@@ -65,25 +93,61 @@ func (d Diagnostic) String() string {
 
 // All returns the repo's analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{BitvecLen, RandSeed, APIPanic}
+	return []*Analyzer{
+		BitvecLen, RandSeed, APIPanic,
+		CtxFlow, ShardDisjoint, Invalidation, AllocFree, ErrWrap,
+	}
 }
 
-// Run applies the analyzers to one parsed package and returns the combined
-// diagnostics in source order.
-func Run(fset *token.FileSet, pkgPath, pkgName string, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+// Unit is one analyzable package variant: the base package of a directory,
+// its in-package test files (typed against the augmented package), or its
+// external _test package. Files lists the files diagnostics are reported
+// on; Pkg/Info may cover more files (the augmented type-check).
+type Unit struct {
+	Fset    *token.FileSet
+	PkgPath string
+	PkgName string
+	Files   []*ast.File
+
+	Pkg  *types.Package
+	Info *types.Info
+
+	// TypeErrors collects the go/types errors of the unit's type-check;
+	// a non-empty list means Pkg/Info are incomplete.
+	TypeErrors []error
+}
+
+// RunUnit applies the analyzers to one loaded unit and returns the
+// combined diagnostics.
+func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			PkgPath:  pkgPath,
-			PkgName:  pkgName,
-			Files:    files,
-			diags:    &diags,
+			Analyzer:  a,
+			Fset:      u.Fset,
+			PkgPath:   u.PkgPath,
+			PkgName:   u.PkgName,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			diags:     &diags,
 		}
 		a.Run(pass)
 	}
 	return diags
+}
+
+// Run applies the analyzers to one parsed package without type information
+// and returns the combined diagnostics in source order. Type-aware
+// analyzers no-op; this is the legacy syntax-only entry point kept for the
+// unitchecker fallback and the package's own unit tests.
+func Run(fset *token.FileSet, pkgPath, pkgName string, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+	return RunUnit(&Unit{
+		Fset:    fset,
+		PkgPath: pkgPath,
+		PkgName: pkgName,
+		Files:   files,
+	}, analyzers)
 }
 
 // isTestFile reports whether the file position sits in a _test.go file.

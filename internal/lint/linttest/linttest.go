@@ -1,0 +1,154 @@
+// Package linttest is the golden-file test harness for the repo's
+// analyzers — analysistest-style, stdlib-only. A fixture is a miniature
+// module tree under the caller's testdata directory, declaring `module
+// batchals` so stub packages occupy the real import paths the type-aware
+// analyzers match on (batchals/internal/par, batchals/internal/core, ...).
+//
+// Expected findings are written as trailing comments on the offending
+// line:
+//
+//	pool.Do(n, fn) // want `receives a context.Context but calls Pool\.Do`
+//	x := make([]int, 4) // want "make" "second finding on the same line"
+//
+// Each quoted string (Go-quoted or backquoted) is a regular expression
+// that must match the message of a diagnostic reported on that line; every
+// diagnostic must be matched by exactly one expectation and vice versa.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"batchals/internal/lint"
+)
+
+// Run loads the fixture module rooted at dir with full type information,
+// applies the analyzers, and reports any mismatch between the diagnostics
+// and the fixture's // want comments as test errors.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader := &lint.Loader{Root: dir, GoListDir: dir}
+	units, err := loader.Load()
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("fixture %s contains no Go packages", dir)
+	}
+
+	var diags []lint.Diagnostic
+	expects := map[string][]*expectation{} // filename -> line-ordered expectations
+	for _, u := range units {
+		for _, terr := range u.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", dir, terr)
+		}
+		diags = append(diags, lint.RunUnit(u, analyzers)...)
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			exps, err := fileExpectations(u.Fset, f)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			expects[name] = append(expects[name], exps...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(expects[d.Pos.Filename], d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for name, exps := range expects {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", name, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message, reporting whether one was found.
+func claim(exps []*expectation, d lint.Diagnostic) bool {
+	for _, e := range exps {
+		if e.matched || e.line != d.Pos.Line || e.re == nil {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// fileExpectations extracts the // want expectations of one file.
+func fileExpectations(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var exps []*expectation
+	var firstErr error
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			patterns, err := ParseWantSpec(strings.TrimPrefix(text, "want"))
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("line %d: %w", line, err)
+			}
+			for _, pat := range patterns {
+				e := &expectation{line: line, pattern: pat}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("line %d: bad pattern %q: %w", line, pat, err)
+					}
+					continue
+				}
+				e.re = re
+				exps = append(exps, e)
+			}
+		}
+	}
+	return exps, firstErr
+}
+
+// ParseWantSpec parses the payload of a // want comment — a sequence of
+// Go-quoted or backquoted regular-expression strings — into the pattern
+// list. Trailing prose after the last quoted string is an error, as are
+// unterminated quotes; a spec with no quoted strings yields nil. Exposed
+// for the fuzz target.
+func ParseWantSpec(spec string) ([]string, error) {
+	var patterns []string
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return patterns, fmt.Errorf("want spec: expected quoted pattern at %q", rest)
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return patterns, fmt.Errorf("want spec: unterminated or malformed pattern at %q", rest)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return patterns, fmt.Errorf("want spec: cannot unquote %s: %w", q, err)
+		}
+		patterns = append(patterns, unq)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return patterns, nil
+}

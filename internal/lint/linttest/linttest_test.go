@@ -1,0 +1,66 @@
+package linttest
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseWantSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    []string
+		wantErr bool
+	}{
+		{spec: ``, want: nil},
+		{spec: ` "one"`, want: []string{"one"}},
+		{spec: ` "one" "two"`, want: []string{"one", "two"}},
+		{spec: " `raw\\d+`", want: []string{`raw\d+`}},
+		{spec: ` "esc\"aped"`, want: []string{`esc"aped`}},
+		{spec: ` "ok" trailing prose`, want: []string{"ok"}, wantErr: true},
+		{spec: ` "unterminated`, wantErr: true},
+		{spec: ` bare`, wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseWantSpec(tc.spec)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseWantSpec(%q) error = %v, wantErr %v", tc.spec, err, tc.wantErr)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseWantSpec(%q) = %q, want %q", tc.spec, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseWantSpec(%q)[%d] = %q, want %q", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// FuzzWantSpec pins that the want-spec parser never panics and that every
+// parsed pattern round-trips out of the input (patterns are substrings of
+// the spec modulo quoting, so they must be valid UTF-8 whenever the input
+// is).
+func FuzzWantSpec(f *testing.F) {
+	f.Add(` "one"`)
+	f.Add(` "one" "two"`)
+	f.Add(" `raw`")
+	f.Add(` "esc\"aped" trailing`)
+	f.Add(` "unterminated`)
+	f.Fuzz(func(t *testing.T, spec string) {
+		patterns, err := ParseWantSpec(spec)
+		if err != nil {
+			return
+		}
+		for _, p := range patterns {
+			if utf8.ValidString(spec) && !utf8.ValidString(p) {
+				t.Fatalf("valid input %q produced invalid pattern %q", spec, p)
+			}
+		}
+		if len(patterns) > strings.Count(spec, `"`)+strings.Count(spec, "`") {
+			t.Fatalf("spec %q yielded %d patterns, more than its quote count", spec, len(patterns))
+		}
+	})
+}

@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads every package of a module tree with full go/types
+// information, using only the standard library. Module-internal packages
+// are type-checked from source in dependency order; everything else
+// (standard library, and nothing else in this repo) is imported from
+// compiler export data located via `go list -export` — the same data the
+// go command hands a vet tool — with a source-level importer as fallback
+// when the go command is unavailable.
+//
+// Each directory yields up to three units: the base package, the
+// in-package _test.go files (type-checked against the augmented package,
+// reported separately so base diagnostics are not duplicated), and the
+// external _test package.
+type Loader struct {
+	// Root is the directory tree to load (a module root, or a fixture
+	// tree laid out like one).
+	Root string
+	// ModulePath is the import path of Root. Empty reads Root/go.mod.
+	ModulePath string
+	// GoListDir is the directory `go list` runs from when resolving
+	// external (standard-library) imports; it must sit inside a real Go
+	// module. Empty uses the current working directory.
+	GoListDir string
+}
+
+// parsedDir is the grouped syntax of one directory.
+type parsedDir struct {
+	path     string // import path of the base package
+	name     string // base package name
+	base     []*ast.File
+	inTest   []*ast.File // package <name>, _test.go
+	extTest  []*ast.File // package <name>_test
+	extName  string
+	imports  []string // module-internal imports of the base files
+	allFiles []*ast.File
+}
+
+// Load parses and type-checks the tree and returns its units in a
+// deterministic order (dependency order for base packages, then test
+// units). A returned error means the tree could not be loaded at all;
+// per-unit type errors are reported in Unit.TypeErrors.
+func (l *Loader) Load() ([]*Unit, error) {
+	root, err := filepath.Abs(l.Root)
+	if err != nil {
+		return nil, err
+	}
+	module := l.ModulePath
+	if module == "" {
+		module, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	dirs, err := parseTree(fset, root, module)
+	if err != nil {
+		return nil, err
+	}
+
+	ext, err := l.externalImporter(fset, dirs, module)
+	if err != nil {
+		return nil, err
+	}
+	chain := &chainImporter{cache: map[string]*types.Package{}, ext: ext}
+
+	order, err := topoOrder(dirs, module)
+	if err != nil {
+		return nil, err
+	}
+
+	var units []*Unit
+	check := func(path, name string, files, report []*ast.File, cacheAs string) *Unit {
+		u := &Unit{Fset: fset, PkgPath: path, PkgName: name, Files: report}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{
+			Importer: chain,
+			Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+		}
+		pkg, _ := conf.Check(path, fset, files, info)
+		u.Pkg, u.Info = pkg, info
+		if cacheAs != "" {
+			chain.cache[cacheAs] = pkg
+		}
+		return u
+	}
+
+	// Base packages in dependency order, cached for importers.
+	for _, d := range order {
+		units = append(units, check(d.path, d.name, d.base, d.base, d.path))
+	}
+	// Test units, after every base package is importable.
+	for _, d := range order {
+		if len(d.inTest) > 0 {
+			aug := append(append([]*ast.File{}, d.base...), d.inTest...)
+			units = append(units, check(d.path, d.name, aug, d.inTest, ""))
+		}
+		if len(d.extTest) > 0 {
+			units = append(units, check(d.path+"_test", d.extName, d.extTest, d.extTest, ""))
+		}
+	}
+	return units, nil
+}
+
+// parseTree walks root and parses every package directory, skipping VCS,
+// vendor and testdata trees.
+func parseTree(fset *token.FileSet, root, module string) ([]*parsedDir, error) {
+	var dirs []*parsedDir
+	err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() {
+			return nil
+		}
+		name := de.Name()
+		if path != root && (name == ".git" || name == ".github" || name == "testdata" ||
+			name == "vendor" || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".")) {
+			return filepath.SkipDir
+		}
+		d, derr := parseDir(fset, root, module, path)
+		if derr != nil {
+			return derr
+		}
+		if d != nil {
+			dirs = append(dirs, d)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses one directory into its base / in-package-test /
+// external-test file groups. Returns nil when the directory has no Go
+// files.
+func parseDir(fset *token.FileSet, root, module, dir string) (*parsedDir, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := module
+	if rel != "." {
+		pkgPath = module + "/" + filepath.ToSlash(rel)
+	}
+	d := &parsedDir{path: pkgPath}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		d.allFiles = append(d.allFiles, f)
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			d.extName = f.Name.Name
+			d.extTest = append(d.extTest, f)
+		case strings.HasSuffix(e.Name(), "_test.go"):
+			d.name = f.Name.Name
+			d.inTest = append(d.inTest, f)
+		default:
+			d.name = f.Name.Name
+			d.base = append(d.base, f)
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == module || strings.HasPrefix(p, module+"/") {
+					d.imports = append(d.imports, p)
+				}
+			}
+		}
+	}
+	if len(d.allFiles) == 0 {
+		return nil, nil
+	}
+	if d.name == "" {
+		// Directory holds only an external test package; type it standalone.
+		d.name = strings.TrimSuffix(d.extName, "_test")
+	}
+	return d, nil
+}
+
+// topoOrder sorts the directories so every module-internal import of a
+// base package precedes the importer.
+func topoOrder(dirs []*parsedDir, module string) ([]*parsedDir, error) {
+	byPath := map[string]*parsedDir{}
+	for _, d := range dirs {
+		byPath[d.path] = d
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].path < dirs[j].path })
+	var order []*parsedDir
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(d *parsedDir) error
+	visit = func(d *parsedDir) error {
+		switch state[d.path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", d.path)
+		case 2:
+			return nil
+		}
+		state[d.path] = 1
+		for _, imp := range d.imports {
+			if dep := byPath[imp]; dep != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[d.path] = 2
+		order = append(order, d)
+		return nil
+	}
+	for _, d := range dirs {
+		if err := visit(d); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// externalImporter builds the importer used for non-module import paths:
+// compiler export data located with one `go list -export -deps` call over
+// the set of external imports the tree mentions, falling back to the
+// source importer when the go command cannot be run.
+func (l *Loader) externalImporter(fset *token.FileSet, dirs []*parsedDir, module string) (types.Importer, error) {
+	extSet := map[string]bool{}
+	for _, d := range dirs {
+		for _, f := range d.allFiles {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "C" || p == module || strings.HasPrefix(p, module+"/") {
+					continue
+				}
+				extSet[p] = true
+			}
+		}
+	}
+	if len(extSet) == 0 {
+		return importer.ForCompiler(fset, "source", nil), nil
+	}
+	paths := make([]string, 0, len(extSet))
+	for p := range extSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	exports, err := goListExports(l.GoListDir, paths)
+	if err != nil {
+		// No go command (or no module context): type-check the standard
+		// library from source instead. Slower, but dependency-free.
+		return importer.ForCompiler(fset, "source", nil), nil
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+// goListExports resolves import paths to compiler export-data files with
+// `go list -export -deps`.
+func goListExports(dir string, paths []string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	if dir != "" {
+		cmd.Dir = dir
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %w: %s", err, stderr.String())
+	}
+	type listPkg struct {
+		ImportPath string
+		Export     string
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// chainImporter serves module-internal packages from the loader's cache
+// and everything else from the external importer.
+type chainImporter struct {
+	cache map[string]*types.Package
+	ext   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: package %q failed to type-check", path)
+		}
+		return pkg, nil
+	}
+	if from, ok := c.ext.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, "", 0)
+	}
+	return c.ext.Import(path)
+}
+
+// readModulePath extracts the module directive from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// SortDiagnostics orders diagnostics by file, offset and analyzer name,
+// the canonical output order of vetals.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

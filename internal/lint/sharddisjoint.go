@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardDisjoint enforces the word-disjointness invariant of the parallel
+// kernels: workers share bitvec word slices and stay race-free only
+// because each writes words of its own par.Shards shard. Inside any
+// function that handles a par.Shard value, every counted word loop
+// (`for w := lo; w < hi; w++`) that indexes a []uint64 slice with its
+// loop variable must take its bounds from the shard — init `sh.W0`,
+// condition `w < sh.W1`. Anything else (literal 0, len(words), an
+// off-by-one on the bound) walks words owned by other workers.
+//
+// Sequential code and the [w0,w1) partial-query kernels hold no Shard
+// value, so they are untouched. Range loops over fan-in scratch buffers
+// are word-local by construction and also out of scope. A finding on a
+// line carrying //als:shard-ok is an acknowledged exception. Test files
+// are exempt.
+var ShardDisjoint = &Analyzer{
+	Name: "sharddisjoint",
+	Doc:  "shard workers must index word slices through the shard's [W0,W1) range",
+	Run:  runShardDisjoint,
+}
+
+func runShardDisjoint(p *Pass) {
+	if p.TypesInfo == nil {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !p.handlesShard(fn.Body) {
+				continue
+			}
+			p.checkShardLoops(fn.Body)
+		}
+	}
+}
+
+// handlesShard reports whether the function subtree mentions any value of
+// type par.Shard (or a slice of them).
+func (p *Pass) handlesShard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.objectOf(id)
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if isNamed(t, "batchals/internal/par", "Shard") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func (p *Pass) checkShardLoops(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init == nil || loop.Cond == nil {
+			return true
+		}
+		v := loopVar(loop)
+		if v == nil {
+			return true
+		}
+		if !p.loopIndexesWords(loop.Body, v) {
+			return true
+		}
+		if p.shardBounded(loop, v) || p.suppressed(loop.Pos(), "als:shard-ok") {
+			return true
+		}
+		p.Reportf(loop.Pos(), "word loop in shard worker must be bounded by the shard's W0/W1, not arbitrary indices; workers own disjoint word ranges")
+		return true
+	})
+}
+
+// loopVar extracts the single variable of a `for v := ...` init clause.
+func loopVar(loop *ast.ForStmt) *ast.Ident {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return id
+}
+
+// loopIndexesWords reports whether the loop body indexes a []uint64 with
+// the loop variable — the signature of touching shared vector words.
+func (p *Pass) loopIndexesWords(body *ast.BlockStmt, v *ast.Ident) bool {
+	obj := p.objectOf(v)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		if !ok || p.objectOf(id) != obj || obj == nil {
+			return true
+		}
+		if isSliceOf(p.typeOf(ix.X), types.Uint64) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// shardBounded reports whether the loop runs exactly `for v := sh.W0;
+// v < sh.W1; ...` for some par.Shard value sh.
+func (p *Pass) shardBounded(loop *ast.ForStmt, v *ast.Ident) bool {
+	init := loop.Init.(*ast.AssignStmt)
+	if !p.isShardField(init.Rhs[0], "W0") {
+		return false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return false
+	}
+	lhs, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || p.objectOf(lhs) != p.objectOf(v) {
+		return false
+	}
+	return p.isShardField(cond.Y, "W1")
+}
+
+// isShardField reports whether e is a selector <shard>.<field> on a
+// par.Shard value.
+func (p *Pass) isShardField(e ast.Expr, field string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != field {
+		return false
+	}
+	return isNamed(p.typeOf(sel.X), "batchals/internal/par", "Shard")
+}

@@ -1,0 +1,40 @@
+package work
+
+type point struct{ x, y int }
+
+// Bad is annotated allocation-free but allocates in five different ways.
+//
+//als:allocfree
+func Bad(xs []int) []int {
+	buf := make([]int, 4) // want "make"
+	_ = buf
+	xs = append(xs, 1)            // want "append"
+	cb := func() int { return 0 } // want "function literal"
+	_ = cb()
+	pt := &point{x: 1} // want "composite literal"
+	_ = pt.y
+	lit := []int{1, 2}        // want "slice/map literal"
+	return append(lit, xs...) // want "append"
+}
+
+// Acknowledged hits a flagged construct but acknowledges it on the line.
+//
+//als:allocfree
+func Acknowledged(xs []int) []int {
+	return append(xs, 1) //als:alloc-ok amortised grow absorbed by the pin's baseline
+}
+
+// StackOnly stays clean: value struct literals and arrays do not allocate.
+//
+//als:allocfree
+func StackOnly() int {
+	pt := point{x: 1, y: 2}
+	var arr [4]int
+	arr[0] = pt.x
+	return arr[0] + pt.y
+}
+
+// Unannotated functions may allocate freely.
+func Unannotated() []int {
+	return make([]int, 3)
+}

@@ -1,0 +1,10 @@
+// Package impl sits under internal/, where panics are the sanctioned
+// invariant mechanism.
+package impl
+
+// Guard panics freely; the analyzer does not apply here.
+func Guard(ok bool) {
+	if !ok {
+		panic("impl: invariant violated")
+	}
+}

@@ -1,0 +1,14 @@
+// Package pub stands in for the public facade: not main, not internal.
+package pub
+
+import "fmt"
+
+// Explode panics on a public API path.
+func Explode() {
+	panic("boom") // want "public API paths must return errors"
+}
+
+// Safe returns the error instead.
+func Safe() error {
+	return fmt.Errorf("boom")
+}

@@ -1,0 +1,49 @@
+// Package bitvec stubs the length-checked bit vector; the bitveclen
+// analyzer keys on the package name.
+package bitvec
+
+// Vec is an M-bit vector over uint64 words.
+type Vec struct {
+	n int
+	w []uint64
+}
+
+func (v *Vec) checkSameLen(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+}
+
+// And guards with the helper before the word loop.
+func (v *Vec) And(a, b *Vec) {
+	v.checkSameLen(a)
+	v.checkSameLen(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] & b.w[i]
+	}
+}
+
+// Equal guards with an explicit length comparison.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Or runs its word loop with no guard at all.
+func (v *Vec) Or(o *Vec) { // want "neither calls checkSameLen"
+	for i := range v.w {
+		v.w[i] |= o.w[i]
+	}
+}
+
+// Count takes no *Vec operand; nothing to guard.
+func (v *Vec) Count() int {
+	return v.n
+}

@@ -1,0 +1,3 @@
+module batchals
+
+go 1.22

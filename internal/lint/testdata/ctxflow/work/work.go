@@ -1,0 +1,56 @@
+package work
+
+import (
+	"context"
+
+	"batchals/internal/par"
+)
+
+// env carries the context inside a struct, iterContext-style.
+type env struct {
+	goCtx context.Context
+	m     int
+}
+
+// BadDo drops the received context by dispatching through the ctx-less
+// variant.
+func BadDo(ctx context.Context, pool *par.Pool) {
+	pool.Do(4, func(_, _ int) {}) // want `calls Pool\.Do`
+}
+
+// GoodDoCtx threads the context.
+func GoodDoCtx(ctx context.Context, pool *par.Pool) error {
+	return pool.DoCtx(ctx, 4, func(_, _ int) {})
+}
+
+// GoodGuard assigns a Background fallback to the context variable — the
+// nil-guard pattern is allowed; only passing a fresh context onward is not.
+func GoodGuard(ctx context.Context, pool *par.Pool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return pool.DoCtx(ctx, 2, func(_, _ int) {})
+}
+
+// BadDrop severs the chain by handing the callee a fresh Background.
+func BadDrop(ctx context.Context, pool *par.Pool) error {
+	return pool.DoCtx(context.Background(), 2, func(_, _ int) {}) // want `passes context\.Background`
+}
+
+// BadEnv receives the context inside a parameter struct; the contract is
+// the same.
+func BadEnv(e *env, pool *par.Pool) {
+	pool.Do(e.m, func(_, _ int) {}) // want `calls Pool\.Do`
+}
+
+// NoCtx has no context anywhere; the ctx-less call is the sequential
+// contract.
+func NoCtx(pool *par.Pool) {
+	pool.Do(3, func(_, _ int) {})
+}
+
+// Acknowledged is an accepted exception (a fan-out that must run to
+// completion once started).
+func Acknowledged(ctx context.Context, pool *par.Pool) {
+	pool.Do(1, func(_, _ int) {}) //als:ctx-ok state-mutating fan-out must complete
+}

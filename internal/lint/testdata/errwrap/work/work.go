@@ -1,0 +1,44 @@
+package work
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a sentinel in the flow-package style.
+var ErrBudget = errors.New("budget exhausted")
+
+// BadEq compares the sentinel by identity.
+func BadEq(err error) bool {
+	return err == ErrBudget // want "use errors.Is"
+}
+
+// BadNeq is the negated form.
+func BadNeq(err error) bool {
+	return err != ErrBudget // want "use errors.Is"
+}
+
+// GoodIs matches through wrapping layers.
+func GoodIs(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// BadWrap stringifies the cause; errors.Is stops matching downstream.
+func BadWrap(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want "without %w"
+}
+
+// GoodWrap keeps the chain intact.
+func GoodWrap(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+// NilCheck is a plain presence test, not a sentinel comparison.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Acknowledged is an accepted identity comparison.
+func Acknowledged(err error) bool {
+	return err == ErrBudget //als:errcmp-ok pointer identity intended here
+}

@@ -1,0 +1,15 @@
+package work
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCancelled shows the analyzer runs on test files too — the tree's
+// actual findings were cancellation assertions exactly like this one.
+func TestCancelled(t *testing.T) {
+	err := context.Canceled
+	if err == context.Canceled { // want "use errors.Is"
+		t.Log("identity comparison flagged")
+	}
+}

@@ -1,0 +1,68 @@
+// Package core stubs the CPM/Engine cache anatomy at its true import
+// path: propagation rows p plus the three lazy caches (anyProp,
+// certificate, AEM columns) whose coherence the invalidation analyzer
+// enforces.
+package core
+
+import "sync/atomic"
+
+type Vec struct{ n int }
+
+type State struct{ epoch int }
+
+type Certificate struct{ ok bool }
+
+type CPM struct {
+	p       [][]*Vec
+	anyProp []atomic.Pointer[Vec]
+	cert    atomic.Pointer[Certificate]
+	aemFor  *State
+}
+
+// Build writes rows of a locally constructed receiver; a fresh CPM has
+// empty caches, so no invalidation is required.
+func Build(slots int) *CPM {
+	c := &CPM{p: make([][]*Vec, slots), anyProp: make([]atomic.Pointer[Vec], slots)}
+	c.p[0] = []*Vec{{n: 1}}
+	return c
+}
+
+// Refresh recomputes rows and drops every cache — the paired-call shape.
+func (c *CPM) Refresh(id int) {
+	c.p[id] = nil
+	c.anyProp[id].Store(nil)
+	c.cert.Store(nil)
+	c.aemFor = nil
+}
+
+// GoodWrite pairs the row write with a certificate drop.
+func (c *CPM) GoodWrite(id int) {
+	c.p[id] = nil
+	c.cert.Store(nil)
+}
+
+// BadWrite mutates rows and leaves every cache stale.
+func (c *CPM) BadWrite(id int) {
+	c.p[id] = nil // want "without invalidating the lazy caches"
+}
+
+// BadGrow extends the row table without touching the caches.
+func (c *CPM) BadGrow() {
+	c.p = append(c.p, nil) // want "without invalidating the lazy caches"
+}
+
+// Acknowledged is an accepted exception.
+func (c *CPM) Acknowledged(id int) {
+	c.p[id] = nil //als:invalidate-ok caller drops the caches in the same transaction
+}
+
+// Engine mirrors the real engine's exported-read, Apply-mutate contract.
+type Engine struct {
+	Net  *Vec
+	Vals *Vec
+	St   *State
+}
+
+// Apply is the sanctioned mutation path; inside package core the Engine
+// rule does not apply.
+func (e *Engine) Apply(next *Vec) { e.Net = next }

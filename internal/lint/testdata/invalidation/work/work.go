@@ -1,0 +1,29 @@
+package work
+
+import "batchals/internal/core"
+
+// BadEngineWrite mutates engine state directly instead of going through
+// Apply.
+func BadEngineWrite(e *core.Engine) {
+	e.Net = nil // want `direct write to Engine\.Net`
+}
+
+// BadEngineStateWrite hits a different field of the same contract.
+func BadEngineStateWrite(e *core.Engine) {
+	e.St = nil // want `direct write to Engine\.St`
+}
+
+// GoodRead reads the exported fields — the documented contract.
+func GoodRead(e *core.Engine) *core.Vec {
+	return e.Net
+}
+
+// GoodApply routes mutation through the engine.
+func GoodApply(e *core.Engine) {
+	e.Apply(nil)
+}
+
+// Acknowledged is an accepted exception.
+func Acknowledged(e *core.Engine) {
+	e.Vals = nil //als:invalidate-ok test scaffolding resets the table wholesale
+}

@@ -1,0 +1,23 @@
+package work
+
+import (
+	"math/rand"
+	mrv2 "math/rand/v2"
+)
+
+// BadGlobal draws from the process-global source; reproducibility from a
+// Seed option is lost.
+func BadGlobal() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+// BadGlobalV2 does the same through math/rand/v2.
+func BadGlobalV2() int {
+	return mrv2.IntN(10) // want "global math/rand source"
+}
+
+// GoodSeeded threads an explicit seeded source.
+func GoodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

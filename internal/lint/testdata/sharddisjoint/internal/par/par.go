@@ -1,0 +1,10 @@
+// Package par stubs the shard splitter at its true import path.
+package par
+
+type Shard struct{ Index, Lo, Hi, W0, W1 int }
+
+// Shards returns a single shard covering everything; enough for fixtures.
+func Shards(m, n int) []Shard {
+	w := (m + 63) / 64
+	return []Shard{{Index: 0, Lo: 0, Hi: m, W0: 0, W1: w}}
+}

@@ -1,0 +1,48 @@
+package work
+
+import "batchals/internal/par"
+
+// Good indexes the word slice only through the shard's range.
+func Good(words []uint64, m int) {
+	for _, sh := range par.Shards(m, 4) {
+		for w := sh.W0; w < sh.W1; w++ {
+			words[w] = 0
+		}
+	}
+}
+
+// BadZero walks every word while holding a shard — it would overwrite
+// words owned by the other workers.
+func BadZero(words []uint64, m int) {
+	for _, sh := range par.Shards(m, 4) {
+		_ = sh
+		for w := 0; w < len(words); w++ { // want "bounded by the shard's W0/W1"
+			words[w] = 0
+		}
+	}
+}
+
+// BadHi uses the pattern bound where the word bound belongs.
+func BadHi(words []uint64, m int) {
+	sh := par.Shards(m, 2)[0]
+	for w := sh.W0; w < sh.Hi; w++ { // want "bounded by the shard's W0/W1"
+		words[w] = 0
+	}
+}
+
+// NoShard is sequential code; full-range walks are its normal mode.
+func NoShard(words []uint64) {
+	for w := 0; w < len(words); w++ {
+		words[w] = 0
+	}
+}
+
+// Acknowledged is an accepted exception (a deliberate whole-vector
+// reduction in a function that also handles shards).
+func Acknowledged(words []uint64, m int) {
+	sh := par.Shards(m, 2)[0]
+	_ = sh
+	for w := 0; w < len(words); w++ { //als:shard-ok read-only fold over all words
+		words[w]++
+	}
+}

@@ -530,11 +530,17 @@ loop:
 		var cands []Candidate
 		if incremental {
 			env := newGatherEnv(approx, vals, &cfg, arrival, invDelay)
+			var gerr error
 			if cache == nil {
 				cache = &gatherCache{}
-				cands = cache.full(env, pool)
+				cands, gerr = cache.full(goCtx, env, pool)
 			} else {
-				cands = cache.update(env, pendingEdit, pendingChanged, pool)
+				cands, gerr = cache.update(goCtx, env, pendingEdit, pendingChanged, pool)
+			}
+			if gerr != nil {
+				// A cancelled gather leaves the cache partially written;
+				// drop it so a hypothetical resume cannot read torn state.
+				cache = nil
 			}
 		} else {
 			cands = gatherCandidatesParallel(goCtx, approx, vals, &cfg, arrival, invDelay, pool)
@@ -733,6 +739,8 @@ func cycleNames(net *circuit.Network, cyc []circuit.NodeID) string {
 // of feasible indices. With o == nil this is exactly the pre-observability
 // hot loop — TestNilTracerScoringAllocs pins that it allocates nothing
 // beyond the estimator's own scratch work.
+//
+//als:allocfree
 func scoreCandidates(est estimator, cands []Candidate, vals *sim.Values,
 	curErr, threshold float64, scratch, change *bitvec.Vec, o *runObs, iter int) (int, []int) {
 
@@ -749,7 +757,7 @@ func scoreCandidates(est estimator, cands []Candidate, vals *sim.Values,
 		if curErr+c.Delta > threshold+1e-12 {
 			continue // estimated to bust the budget
 		}
-		feasible = append(feasible, i)
+		feasible = append(feasible, i) //als:alloc-ok amortised grow of the returned index list; the pin's baseline absorbs it
 		if best == -1 || c.Score > cands[best].Score {
 			best = i
 		}

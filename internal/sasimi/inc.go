@@ -1,6 +1,8 @@
 package sasimi
 
 import (
+	"context"
+
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
@@ -57,13 +59,17 @@ type gatherCache struct {
 // full performs the initial complete gather, populating every target's
 // cached bucket and dependency set. Buckets land in per-target slots owned
 // by the task index, so the fan-out is deterministic at any worker count.
-func (gc *gatherCache) full(env *gatherEnv, pool *par.Pool) []Candidate {
+// A cancelled context aborts the fan-out and returns the context's error;
+// the cache is then partially populated and must be discarded.
+func (gc *gatherCache) full(goCtx context.Context, env *gatherEnv, pool *par.Pool) ([]Candidate, error) {
 	gc.data = make([]targetData, env.net.NumSlots())
 	targets := liveGateTargets(env.net)
-	pool.Do(len(targets), func(_, ti int) {
+	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
 		t := targets[ti]
 		gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	gc.prevArrival = append([]float64(nil), env.arrival...)
 	total := 0
 	for _, t := range targets {
@@ -74,13 +80,15 @@ func (gc *gatherCache) full(env *gatherEnv, pool *par.Pool) []Candidate {
 		gc.sorted = append(gc.sorted, gc.data[t].bucket...)
 	}
 	sortCandidates(gc.sorted)
-	return gc.capped(env.cfg)
+	return gc.capped(env.cfg), nil
 }
 
 // update refreshes the cache after one accepted edit and returns the new
 // candidate list. ed is the structural record of the edit and changed the
-// nodes whose value vectors differ (from core.Engine.Apply).
-func (gc *gatherCache) update(env *gatherEnv, ed *core.Edit, changed []circuit.NodeID, pool *par.Pool) []Candidate {
+// nodes whose value vectors differ (from core.Engine.Apply). A cancelled
+// context aborts the fan-out and returns the context's error; the cache is
+// then partially updated and must be discarded.
+func (gc *gatherCache) update(goCtx context.Context, env *gatherEnv, ed *core.Edit, changed []circuit.NodeID, pool *par.Pool) ([]Candidate, error) {
 	n := env.net
 	slots := n.NumSlots()
 	for len(gc.data) < slots {
@@ -182,7 +190,7 @@ func (gc *gatherCache) update(env *gatherEnv, ed *core.Edit, changed []circuit.N
 	targets := liveGateTargets(n)
 	dirtyT := make([]bool, slots)
 	freshBy := make([][]Candidate, len(targets))
-	pool.Do(len(targets), func(_, ti int) {
+	err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
 		t := targets[ti]
 		td := &gc.data[t]
 		if !td.live || changedVal[t] || arrivalChanged[t] || depsTouched(td.deps, probe) {
@@ -209,6 +217,9 @@ func (gc *gatherCache) update(env *gatherEnv, ed *core.Edit, changed []circuit.N
 		freshBy[ti] = fresh
 		td.bucket = mergeBucket(td.bucket, fresh, drop)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Maintain the sorted list by filter-and-merge: the previous list
 	// minus the entries of dirty/removed targets and dropped substitutes
@@ -240,7 +251,7 @@ func (gc *gatherCache) update(env *gatherEnv, ed *core.Edit, changed []circuit.N
 	gc.sorted = mergeSorted(kept, added)
 
 	gc.prevArrival = append(gc.prevArrival[:0], env.arrival...)
-	return gc.capped(env.cfg)
+	return gc.capped(env.cfg), nil
 }
 
 // mergeSorted merges two candLess-sorted runs. Ties cannot occur (the

@@ -2,6 +2,7 @@ package sasimi
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"testing"
 
@@ -186,7 +187,7 @@ func TestRunContextCancelled(t *testing.T) {
 			Seed:        1,
 		},
 	})
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 	if res == nil {
