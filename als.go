@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"batchals/internal/bench"
@@ -51,6 +52,7 @@ import (
 	"batchals/internal/emetric"
 	"batchals/internal/flow"
 	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
 	"batchals/internal/sasimi"
 	"batchals/internal/sim"
 )
@@ -129,6 +131,13 @@ type Options struct {
 	// histograms split by the exactness certificate. Use NewMetrics for a
 	// private registry or DefaultMetrics for the process-global one.
 	Metrics *Metrics
+	// Timeline, when non-nil, records a causal span timeline of the run:
+	// per-worker busy/idle spans for every parallel dispatch, driver-side
+	// phase spans, and the verify/apply/measure sections of each iteration.
+	// Export it with WriteTrace (Chrome trace-event JSON, loadable in
+	// Perfetto) or summarise it with timeline.Summarize. nil keeps the hot
+	// paths span-free; results are bit-identical either way.
+	Timeline *TimelineRecorder
 	// CheckInvariants validates structural invariants (combinational
 	// acyclicity) after every accepted substitution, turning latent
 	// netlist-surgery bugs into immediate named-cycle errors.
@@ -172,6 +181,21 @@ func DefaultMetrics() *Metrics { return obs.Default() }
 // (one object per line, keyed by "ev"). Call Flush when the run ends.
 func NewJSONLTracer(w io.Writer) *obs.JSONLTracer { return obs.NewJSONLTracer(w) }
 
+// TimelineRecorder is a lock-free causal span recorder (re-exported from
+// internal/obs/timeline). Attach one via Options.Timeline, then export the
+// run's spans with WriteTrace or aggregate them with timeline.Summarize.
+type TimelineRecorder = timeline.Recorder
+
+// NewTimeline returns a span recorder sized for a flow run with the given
+// worker count (0 = all CPUs): one lane per worker plus a driver lane,
+// each with the default span capacity.
+func NewTimeline(workers int) *TimelineRecorder {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return timeline.NewRecorder(workers+1, 0)
+}
+
 // Result is the outcome of an approximation flow (re-exported from
 // internal/sasimi).
 type Result = sasimi.Result
@@ -202,6 +226,7 @@ func ApproximateContext(ctx context.Context, golden *Network, opts Options) (*Re
 		VerifyTopK:      opts.VerifyTopK,
 		Tracer:          opts.Tracer,
 		Metrics:         opts.Metrics,
+		Timeline:        opts.Timeline,
 		CheckInvariants: opts.CheckInvariants,
 		Incremental:     opts.Incremental,
 	})

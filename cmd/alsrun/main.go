@@ -18,6 +18,11 @@
 // exactness certificate) as JSON, -pprof serves net/http/pprof plus a
 // Prometheus /metrics endpoint while the flow runs, and -summary prints a
 // phase/drift table at the end. Any of these also implies the summary.
+//
+// -timeline FILE attaches the causal span recorder and writes the run's
+// per-worker timeline as Chrome trace-event JSON (open it in Perfetto or
+// chrome://tracing), followed by a per-span-name wall/busy/idle summary
+// table. With -serve, the live timeline is also exported at /timeline.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"batchals"
 	"batchals/internal/flow"
 	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
 	"batchals/internal/serve"
 	"batchals/internal/snap"
 	"batchals/internal/stoch"
@@ -41,26 +47,27 @@ import (
 
 func main() {
 	var (
-		circuitFlag = flag.String("circuit", "", "benchmark name or .bench/.blif file path")
-		flowFlag    = flag.String("flow", "sasimi", "ALS flow: sasimi, snap (constant-setting), wu (literal-removal) or stoch (stochastic)")
-		metricFlag  = flag.String("metric", "er", "error metric: er or aem")
-		threshold   = flag.Float64("threshold", 0.01, "error budget (ER fraction or absolute AEM)")
-		estimator   = flag.String("estimator", "batch", "estimator: batch, full or local")
-		verifyTopK  = flag.Int("verify", 0, "re-check the K best candidates per iteration exactly (0 = off)")
-		patterns    = flag.Int("m", 10000, "Monte Carlo pattern count")
-		seed        = flag.Int64("seed", 0, "random seed")
-		workers     = flag.Int("workers", 0, "worker pool size for the sasimi flow (0 = all CPUs, 1 = sequential; results are bit-identical at any count)")
-		incremental = flag.Bool("incremental", true, "carry simulation/CPM state across sasimi iterations (cone resimulation + dirty-region CPM refresh); false rebuilds from scratch each iteration — results are bit-identical either way")
-		outFile     = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
-		iters       = flag.Bool("iters", false, "print every accepted substitution")
-		checkInv    = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
-		traceFile   = flag.String("trace", "", "write a JSONL event trace (phases, iterations, accepts) to this file")
-		traceCands  = flag.Bool("trace-cands", false, "include per-candidate scoring events in the -trace stream (large)")
-		metricsFile = flag.String("metrics", "", "write a JSON metrics snapshot (counters, phase timers, drift histograms) to this file")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address during the run")
-		serveAddr   = flag.String("serve", "", "serve the full observability surface (labelled /metrics, /metrics.json, /events SSE, /flight, /healthz, pprof) on this address during the run")
-		summary     = flag.Bool("summary", false, "print an end-of-run phase/drift summary table")
-		list        = flag.Bool("list", false, "list built-in benchmark names and exit")
+		circuitFlag  = flag.String("circuit", "", "benchmark name or .bench/.blif file path")
+		flowFlag     = flag.String("flow", "sasimi", "ALS flow: sasimi, snap (constant-setting), wu (literal-removal) or stoch (stochastic)")
+		metricFlag   = flag.String("metric", "er", "error metric: er or aem")
+		threshold    = flag.Float64("threshold", 0.01, "error budget (ER fraction or absolute AEM)")
+		estimator    = flag.String("estimator", "batch", "estimator: batch, full or local")
+		verifyTopK   = flag.Int("verify", 0, "re-check the K best candidates per iteration exactly (0 = off)")
+		patterns     = flag.Int("m", 10000, "Monte Carlo pattern count")
+		seed         = flag.Int64("seed", 0, "random seed")
+		workers      = flag.Int("workers", 0, "worker pool size for the sasimi flow (0 = all CPUs, 1 = sequential; results are bit-identical at any count)")
+		incremental  = flag.Bool("incremental", true, "carry simulation/CPM state across sasimi iterations (cone resimulation + dirty-region CPM refresh); false rebuilds from scratch each iteration — results are bit-identical either way")
+		outFile      = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
+		iters        = flag.Bool("iters", false, "print every accepted substitution")
+		checkInv     = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
+		traceFile    = flag.String("trace", "", "write a JSONL event trace (phases, iterations, accepts) to this file")
+		traceCands   = flag.Bool("trace-cands", false, "include per-candidate scoring events in the -trace stream (large)")
+		metricsFile  = flag.String("metrics", "", "write a JSON metrics snapshot (counters, phase timers, drift histograms) to this file")
+		timelineFile = flag.String("timeline", "", "write the run's causal span timeline (per-worker busy/idle, dispatches, verify/apply) as Chrome trace-event JSON to this file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address during the run")
+		serveAddr    = flag.String("serve", "", "serve the full observability surface (labelled /metrics, /metrics.json, /events SSE, /flight, /healthz, pprof) on this address during the run")
+		summary      = flag.Bool("summary", false, "print an end-of-run phase/drift summary table")
+		list         = flag.Bool("list", false, "list built-in benchmark names and exit")
 	)
 	flag.Parse()
 
@@ -134,6 +141,13 @@ func main() {
 	if observe {
 		opts.Metrics = obs.Default()
 	}
+	// The timeline recorder rides independently of the metrics/trace sinks:
+	// it is also attached under -serve alone so /timeline works live.
+	var tlRec *batchals.TimelineRecorder
+	if *timelineFile != "" || *serveAddr != "" {
+		tlRec = batchals.NewTimeline(*workers)
+		opts.Timeline = tlRec
+	}
 	if *serveAddr != "" {
 		// Full observability service for the duration of the run: the run
 		// registers under the circuit name, its metrics land in a dedicated
@@ -150,6 +164,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("serving: http://%s/metrics (/metrics.json, /events, /flight, /debug/pprof/)\n", boundAddr)
+		run.SetTimeline(tlRec)
 		run.SetState(serve.RunActive, "")
 		srv.SetReady(true)
 		defer func() {
@@ -173,6 +188,22 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/ (Prometheus text at /metrics)\n", *pprofAddr)
 	}
 	finishObs := func(phases obs.PhaseReport) {
+		if tlRec != nil && *timelineFile != "" {
+			f, err := os.Create(*timelineFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tlRec.WriteTrace(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d spans)\n", *timelineFile, tlRec.SpanCount())
+			if err := timeline.Summarize(tlRec.Snapshot(), tlRec.Dropped()).WriteSummary(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 		if tracer != nil && !flushed {
 			flushed = true
 			if err := tracer.Flush(); err != nil {

@@ -1,0 +1,262 @@
+// Command benchdiff compares two committed BENCH_*.json baselines (the
+// benchmeta schema written by cmd/benchjson) with noise-aware thresholds
+// and exits nonzero on regression, making it usable as a CI gate.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -threshold 0.30 -alloc-threshold 0.10 BENCH_pr5.json /tmp/bench_now.json
+//
+// For every benchmark in OLD it prints an ns/op, B/op and allocs/op delta
+// row. A benchmark regresses when:
+//
+//   - it is present in OLD but missing from NEW (a paper experiment's
+//     benchmark silently disappeared), or
+//   - its ns/op grew by more than threshold plus a noise pad scaled to
+//     the iteration count (single-iteration benchtime=1x runs get a wide
+//     pad — and a warning — because one iteration of a multi-millisecond
+//     flow can swing ±2x on shared CI hardware), or
+//   - its allocs/op grew by more than -alloc-threshold. Allocation counts
+//     are deterministic for a fixed environment, so they get no noise
+//     pad: they are the strongest same-machine regression signal this
+//     gate has.
+//
+// Environment metadata (schema v2) is cross-checked. A differing CPU
+// model downgrades timing regressions to warnings (the delta measures
+// the hardware, not the code) but keeps the allocation gate armed. A
+// differing GOMAXPROCS/NumCPU or Go version — or a v1 baseline with no
+// env at all — downgrades the allocation gate too, because worker pools
+// default to NumCPU (allocation counts follow the worker count) and
+// compilers move allocations between versions. Missing benchmarks gate
+// unconditionally. -warn-only reports everything but always exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"batchals/internal/benchmeta"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// diffConfig carries the comparison knobs.
+type diffConfig struct {
+	threshold      float64 // allowed fractional ns/op growth before padding
+	allocThreshold float64 // allowed fractional allocs/op growth (no pad)
+	warnOnly       bool
+}
+
+// noisePad widens the timing threshold for low-iteration baselines: the
+// pad is the extra fractional growth attributed to measurement noise
+// rather than the code.
+func noisePad(iters int64) float64 {
+	switch {
+	case iters <= 1:
+		return 2.00 // benchtime=1x: one sample, noise dominates
+	case iters <= 4:
+		return 0.50
+	case iters <= 16:
+		return 0.20
+	default:
+		return 0.05
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := diffConfig{}
+	fs.Float64Var(&cfg.threshold, "threshold", 0.30, "allowed fractional ns/op growth before the noise pad")
+	fs.Float64Var(&cfg.allocThreshold, "alloc-threshold", 0.10, "allowed fractional allocs/op growth (no noise pad)")
+	fs.BoolVar(&cfg.warnOnly, "warn-only", false, "report regressions but exit 0")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	oldBase, err := benchmeta.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newBase, err := benchmeta.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	cmp := compareEnv(oldBase, newBase, stderr)
+	if oldBase.MinIterations() <= 1 || newBase.MinIterations() <= 1 {
+		fmt.Fprintln(stderr, "benchdiff: warning: benchtime=1x single-iteration timings; "+
+			"ns/op deltas carry a wide noise pad and are advisory")
+	}
+
+	regressions := diff(oldBase, newBase, cfg, cmp, stdout)
+	if len(regressions) == 0 {
+		fmt.Fprintf(stdout, "\nno regressions across %d benchmarks\n", len(oldBase.Benchmarks))
+		return 0
+	}
+	fmt.Fprintf(stderr, "\nbenchdiff: %d regression(s):\n", len(regressions))
+	for _, r := range regressions {
+		fmt.Fprintln(stderr, "  -", r)
+	}
+	if cfg.warnOnly {
+		fmt.Fprintln(stderr, "benchdiff: -warn-only set; exiting 0")
+		return 0
+	}
+	return 1
+}
+
+// envComparability says which of the gates the two baselines' shared
+// environment can arm.
+type envComparability struct {
+	timing bool // same CPU model, parallelism and toolchain
+	allocs bool // same parallelism (worker pools default to NumCPU) and toolchain
+}
+
+// compareEnv classifies the two baselines' environments, warning on any
+// mismatch. Legacy v1 baselines have no env, so neither timing nor
+// allocation deltas can be attributed to the code with confidence.
+func compareEnv(oldBase, newBase *benchmeta.Baseline, stderr io.Writer) envComparability {
+	oe, ne := oldBase.Env, newBase.Env
+	if oe == nil || ne == nil {
+		fmt.Fprintln(stderr, "benchdiff: warning: baseline without env metadata (schema v1); "+
+			"cannot verify the runs are comparable — timing and allocation deltas are advisory")
+		return envComparability{}
+	}
+	cmp := envComparability{timing: true, allocs: true}
+	warn := func(field, o, n string) {
+		fmt.Fprintf(stderr, "benchdiff: warning: %s differs (%q vs %q); affected deltas measure the environment, not the code\n", field, o, n)
+	}
+	if oe.CPUModel != ne.CPUModel && oe.CPUModel != "" && ne.CPUModel != "" {
+		warn("cpu model", oe.CPUModel, ne.CPUModel)
+		cmp.timing = false
+	}
+	if oe.GOMAXPROCS != ne.GOMAXPROCS {
+		warn("GOMAXPROCS", fmt.Sprint(oe.GOMAXPROCS), fmt.Sprint(ne.GOMAXPROCS))
+		cmp.timing, cmp.allocs = false, false
+	}
+	if oe.NumCPU != ne.NumCPU {
+		warn("NumCPU", fmt.Sprint(oe.NumCPU), fmt.Sprint(ne.NumCPU))
+		cmp.timing, cmp.allocs = false, false
+	}
+	if oe.GoVersion != ne.GoVersion {
+		warn("go version", oe.GoVersion, ne.GoVersion)
+		cmp.timing, cmp.allocs = false, false
+	}
+	return cmp
+}
+
+// diff prints the per-benchmark delta table and returns the regression
+// descriptions. Timing and allocation regressions gate only when the
+// environments make them attributable to the code; missing benchmarks
+// gate unconditionally.
+func diff(oldBase, newBase *benchmeta.Baseline, cfg diffConfig, cmp envComparability, stdout io.Writer) []string {
+	byName := map[string]benchmeta.Bench{}
+	for _, b := range newBase.Benchmarks {
+		byName[b.Name] = b
+	}
+	names := make([]string, 0, len(oldBase.Benchmarks))
+	oldBy := map[string]benchmeta.Bench{}
+	for _, b := range oldBase.Benchmarks {
+		names = append(names, b.Name)
+		oldBy[b.Name] = b
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Fprintf(stdout, "%-44s %14s %14s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs", "verdict")
+	for _, name := range names {
+		ob := oldBy[name]
+		nb, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %14s %14s %8s %8s %8s\n",
+				name, fmtNum(ob.Metrics["ns/op"]), "-", "-", "-", "MISSING")
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in %s, missing from the new run", name, "old baseline"))
+			continue
+		}
+
+		verdict := "ok"
+		nsDelta, nsKnown := fracDelta(ob.Metrics["ns/op"], nb.Metrics["ns/op"])
+		allocDelta, allocKnown := fracDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"])
+
+		iters := ob.Iterations
+		if nb.Iterations < iters {
+			iters = nb.Iterations
+		}
+		pad := noisePad(iters)
+		if nsKnown && nsDelta > cfg.threshold+pad {
+			if cmp.timing {
+				verdict = "SLOWER"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: ns/op %+.1f%% exceeds %.0f%% threshold (+%.0f%% noise pad at %d iterations)",
+					name, 100*nsDelta, 100*cfg.threshold, 100*pad, iters))
+			} else {
+				verdict = "slower?"
+			}
+		}
+		if allocKnown && allocDelta > cfg.allocThreshold {
+			if cmp.allocs {
+				verdict = "ALLOCS"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: allocs/op %+.1f%% exceeds %.0f%% threshold (allocation counts are deterministic for this environment; this is code, not noise)",
+					name, 100*allocDelta, 100*cfg.allocThreshold))
+			} else {
+				verdict = "allocs?"
+			}
+		}
+		fmt.Fprintf(stdout, "%-44s %14s %14s %8s %8s %8s\n",
+			name, fmtNum(ob.Metrics["ns/op"]), fmtNum(nb.Metrics["ns/op"]),
+			fmtPct(nsDelta, nsKnown), fmtPct(allocDelta, allocKnown), verdict)
+	}
+	return regressions
+}
+
+// fracDelta returns (new-old)/old and whether both sides are usable.
+// A zero old value with a zero new value is "no change"; zero old with
+// nonzero new (e.g. allocs/op going 0 -> 3) is reported as +Inf-like 1e9.
+func fracDelta(o, n float64) (float64, bool) {
+	switch {
+	case o == 0 && n == 0:
+		return 0, true
+	case o == 0:
+		return 1e9, true
+	case n == 0 && o != 0:
+		return -1, true
+	case o > 0 && n > 0:
+		return (n - o) / o, true
+	}
+	return 0, false
+}
+
+func fmtNum(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func fmtPct(d float64, known bool) string {
+	if !known {
+		return "-"
+	}
+	if d >= 1e9 {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*d)
+}

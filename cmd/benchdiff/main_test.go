@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"batchals/internal/benchmeta"
+)
+
+// writeBaseline marshals a baseline to a temp file and returns its path.
+func writeBaseline(t *testing.T, dir, name string, b benchmeta.Baseline) string {
+	t.Helper()
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sameEnv() *benchmeta.Env { return benchmeta.CaptureEnv("x") }
+
+func bench(name string, iters int64, ns, allocs float64) benchmeta.Bench {
+	return benchmeta.Bench{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    map[string]float64{"ns/op": ns, "allocs/op": allocs},
+	}
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1100, 10)},
+	})
+	code, stdout, stderr := runDiff(t, old, niu)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no regressions") {
+		t.Errorf("stdout missing success line:\n%s", stdout)
+	}
+}
+
+func TestTimingRegressionGates(t *testing.T) {
+	dir := t.TempDir()
+	// 100 iterations -> pad 0.05; +50% exceeds 0.30+0.05.
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1500, 10)},
+	})
+	code, stdout, stderr := runDiff(t, old, niu)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "SLOWER") {
+		t.Errorf("stdout missing SLOWER verdict:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("stderr missing regression report:\n%s", stderr)
+	}
+
+	// -warn-only downgrades the exit code but still reports.
+	code, _, stderr = runDiff(t, "-warn-only", old, niu)
+	if code != 0 {
+		t.Errorf("-warn-only exit %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("-warn-only stderr lost the report:\n%s", stderr)
+	}
+}
+
+func TestNoisePadAbsorbsSingleIterationSwing(t *testing.T) {
+	dir := t.TempDir()
+	// benchtime=1x: +80% must NOT gate (pad 2.00) but must warn.
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkFlow", 1, 1e9, 100)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkFlow", 1, 1.8e9, 100)},
+	})
+	code, _, stderr := runDiff(t, old, niu)
+	if code != 0 {
+		t.Fatalf("benchtime=1x +80%% gated despite the noise pad; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "benchtime=1x") {
+		t.Errorf("missing single-iteration warning:\n%s", stderr)
+	}
+}
+
+func TestAllocRegressionGatesEvenAtOneIteration(t *testing.T) {
+	dir := t.TempDir()
+	// Allocation counts get no noise pad: +50% allocs at 1 iteration gates.
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkFlow", 1, 1e9, 100)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkFlow", 1, 1e9, 150)},
+	})
+	code, stdout, _ := runDiff(t, old, niu)
+	if code != 1 {
+		t.Fatalf("alloc regression not gated, exit %d", code)
+	}
+	if !strings.Contains(stdout, "ALLOCS") {
+		t.Errorf("stdout missing ALLOCS verdict:\n%s", stdout)
+	}
+}
+
+func TestMissingBenchmarkIsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{
+			bench("BenchmarkA", 100, 1000, 10),
+			bench("BenchmarkGone", 100, 2000, 20),
+		},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	code, stdout, stderr := runDiff(t, old, niu)
+	if code != 1 {
+		t.Fatalf("missing benchmark not gated, exit %d", code)
+	}
+	if !strings.Contains(stdout, "MISSING") || !strings.Contains(stderr, "BenchmarkGone") {
+		t.Errorf("missing-benchmark report wrong:\nstdout %s\nstderr %s", stdout, stderr)
+	}
+}
+
+func TestEnvMismatchDowngradesTiming(t *testing.T) {
+	dir := t.TempDir()
+	// A different CPU model at the same parallelism and toolchain: timing
+	// is advisory, allocation counts still gate.
+	otherCPU := sameEnv()
+	otherCPU.CPUModel = "Imaginary CPU @ 9.9GHz"
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: otherCPU,
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 9000, 10)},
+	})
+	code, stdout, stderr := runDiff(t, old, niu)
+	if code != 0 {
+		t.Fatalf("cross-hardware timing delta gated, exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "slower?") {
+		t.Errorf("stdout missing advisory slower? verdict:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "differs") {
+		t.Errorf("stderr missing env mismatch warning:\n%s", stderr)
+	}
+
+	// An alloc regression still gates when only the CPU model differs.
+	niu2 := writeBaseline(t, dir, "new2.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 20)},
+	})
+	code, _, _ = runDiff(t, old, niu2)
+	if code != 1 {
+		t.Errorf("alloc regression not gated across same-parallelism hardware, exit %d", code)
+	}
+}
+
+func TestParallelismMismatchDowngradesAllocs(t *testing.T) {
+	dir := t.TempDir()
+	// Worker pools default to NumCPU, so a GOMAXPROCS/NumCPU mismatch makes
+	// allocation counts incomparable too: advisory verdict, exit 0.
+	otherProcs := sameEnv()
+	otherProcs.GOMAXPROCS++
+	otherProcs.NumCPU++
+	old := writeBaseline(t, dir, "old.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: otherProcs,
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	niu := writeBaseline(t, dir, "new.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: sameEnv(),
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 20)},
+	})
+	code, stdout, stderr := runDiff(t, old, niu)
+	if code != 0 {
+		t.Fatalf("cross-parallelism alloc delta gated, exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "allocs?") {
+		t.Errorf("stdout missing advisory allocs? verdict:\n%s", stdout)
+	}
+
+	// A v1 baseline (no env) downgrades allocation deltas the same way.
+	v1 := writeBaseline(t, dir, "v1.json", benchmeta.Baseline{
+		Benchmarks: []benchmeta.Bench{bench("BenchmarkA", 100, 1000, 10)},
+	})
+	code, stdout, stderr = runDiff(t, v1, niu)
+	if code != 0 {
+		t.Fatalf("v1-baseline alloc delta gated, exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "allocs?") {
+		t.Errorf("v1 stdout missing advisory allocs? verdict:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "schema v1") {
+		t.Errorf("v1 stderr missing no-env warning:\n%s", stderr)
+	}
+
+	// Missing benchmarks gate regardless of env comparability.
+	old2 := writeBaseline(t, dir, "old2.json", benchmeta.Baseline{
+		SchemaVersion: 2, Env: otherProcs,
+		Benchmarks: []benchmeta.Bench{
+			bench("BenchmarkA", 100, 1000, 10),
+			bench("BenchmarkGone", 100, 1000, 10),
+		},
+	})
+	if code, _, _ := runDiff(t, old2, niu); code != 1 {
+		t.Errorf("missing benchmark not gated across parallelism mismatch, exit %d", code)
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	if code, _, _ := runDiff(t, "only-one.json"); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, "/nonexistent/a.json", "/nonexistent/b.json"); code != 2 {
+		t.Errorf("missing files: exit %d, want 2", code)
+	}
+}
+
+func TestNoisePadTiers(t *testing.T) {
+	for _, tc := range []struct {
+		iters int64
+		want  float64
+	}{{1, 2.00}, {4, 0.50}, {16, 0.20}, {17, 0.05}, {1000, 0.05}} {
+		if got := noisePad(tc.iters); got != tc.want {
+			t.Errorf("noisePad(%d) = %f, want %f", tc.iters, got, tc.want)
+		}
+	}
+}

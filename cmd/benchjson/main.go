@@ -9,54 +9,30 @@
 //	go test -run='^$' -bench=. -benchmem -benchtime=1x . | benchjson -against BENCH_pr2.json
 //
 // Without -against, benchjson parses the bench lines on stdin and writes
-// the baseline JSON to -o (default stdout). With -against, it instead
+// the baseline JSON to -o (default stdout) in the benchmeta schema
+// (schema_version 2: environment metadata — go version, GOMAXPROCS, CPU
+// model, commit — alongside the benchmarks). With -against, it instead
 // verifies that every benchmark recorded in the baseline still appears in
 // the new run (so CI fails when a paper experiment's benchmark silently
 // disappears) and prints an ns/op comparison; it does not gate on timing,
-// which is hardware-dependent.
+// which is hardware-dependent — that is cmd/benchdiff's job, with
+// noise-aware thresholds.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"sort"
-	"strconv"
 	"strings"
 
 	"batchals"
+	"batchals/internal/benchmeta"
 	"batchals/internal/obs"
 )
-
-// Bench is one parsed benchmark result line. Metrics maps unit -> value
-// for the standard pairs (ns/op, B/op, allocs/op) and any custom
-// b.ReportMetric units (area_ratio, speedup_x, ...).
-type Bench struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// PhaseBreakdown embeds the obs layer's five-phase accounting of one
-// instrumented smoke flow into the baseline.
-type PhaseBreakdown struct {
-	Circuit   string           `json:"circuit"`
-	M         int              `json:"m"`
-	Threshold float64          `json:"threshold"`
-	TotalNS   int64            `json:"total_ns"`
-	PhaseNS   map[string]int64 `json:"phase_ns"`
-	Spans     map[string]int64 `json:"spans"`
-}
-
-// Baseline is the committed BENCH_*.json document.
-type Baseline struct {
-	GeneratedWith string          `json:"generated_with"`
-	Benchmarks    []Bench         `json:"benchmarks"`
-	Phases        *PhaseBreakdown `json:"phases,omitempty"`
-}
 
 func main() {
 	var (
@@ -66,6 +42,7 @@ func main() {
 		m       = flag.Int("m", 2000, "pattern count for the -phases smoke flow")
 		thr     = flag.Float64("threshold", 0.01, "ER budget for the -phases smoke flow")
 		against = flag.String("against", "", "compare stdin bench output against this committed baseline instead of writing one")
+		commit  = flag.String("commit", "", "commit hash to record in env (default: $GITHUB_SHA, then git rev-parse HEAD)")
 	)
 	flag.Parse()
 
@@ -78,7 +55,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	benches, err := parseBench(in)
+	benches, err := benchmeta.ParseBenchOutput(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,8 +70,10 @@ func main() {
 		return
 	}
 
-	base := Baseline{
+	base := benchmeta.Baseline{
+		SchemaVersion: benchmeta.SchemaVersion,
 		GeneratedWith: "go test -run='^$' -bench=. -benchmem -benchtime=1x .",
+		Env:           benchmeta.CaptureEnv(resolveCommit(*commit)),
 		Benchmarks:    benches,
 	}
 	if *phases != "" {
@@ -121,41 +100,27 @@ func main() {
 	}
 }
 
-// parseBench extracts benchmark result lines from go test output. A result
-// line is "BenchmarkName-P <iters> <value> <unit> [<value> <unit>]...".
-func parseBench(r io.Reader) ([]Bench, error) {
-	var out []Bench
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		f := strings.Fields(sc.Text())
-		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-			continue
-		}
-		iters, err := strconv.ParseInt(f[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		b := Bench{
-			Name:       strings.SplitN(f[0], "-", 2)[0],
-			Iterations: iters,
-			Metrics:    map[string]float64{},
-		}
-		for i := 2; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseFloat(f[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), f[i])
-			}
-			b.Metrics[f[i+1]] = v
-		}
-		out = append(out, b)
+// resolveCommit picks the commit hash to record: the explicit flag, then
+// the CI-provided GITHUB_SHA, then a best-effort git rev-parse (empty if
+// git or the work tree is unavailable — the field is metadata, not a
+// requirement).
+func resolveCommit(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
 	}
-	return out, sc.Err()
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // runPhases runs one observed SASIMI smoke flow and returns its five-phase
 // wall-time breakdown.
-func runPhases(circuit string, m int, thr float64) (*PhaseBreakdown, error) {
+func runPhases(circuit string, m int, thr float64) (*benchmeta.PhaseBreakdown, error) {
 	golden, err := batchals.Benchmark(circuit)
 	if err != nil {
 		return nil, err
@@ -170,7 +135,7 @@ func runPhases(circuit string, m int, thr float64) (*PhaseBreakdown, error) {
 	if err != nil {
 		return nil, err
 	}
-	pb := &PhaseBreakdown{
+	pb := &benchmeta.PhaseBreakdown{
 		Circuit:   circuit,
 		M:         m,
 		Threshold: thr,
@@ -188,16 +153,12 @@ func runPhases(circuit string, m int, thr float64) (*PhaseBreakdown, error) {
 
 // compare checks the new bench results cover every benchmark in the
 // committed baseline and prints an informational ns/op comparison.
-func compare(baselinePath string, fresh []Bench) error {
-	raw, err := os.ReadFile(baselinePath)
+func compare(baselinePath string, fresh []benchmeta.Bench) error {
+	base, err := benchmeta.Load(baselinePath)
 	if err != nil {
 		return err
 	}
-	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("%s: %w", baselinePath, err)
-	}
-	got := map[string]Bench{}
+	got := map[string]benchmeta.Bench{}
 	for _, b := range fresh {
 		got[b.Name] = b
 	}
@@ -207,7 +168,7 @@ func compare(baselinePath string, fresh []Bench) error {
 		names = append(names, b.Name)
 	}
 	sort.Strings(names)
-	byName := map[string]Bench{}
+	byName := map[string]benchmeta.Bench{}
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
 	}

@@ -67,6 +67,7 @@ func BuildParallel(n *circuit.Network, vals *sim.Values, pool *par.Pool) *CPM {
 	lastWord := bitvec.Words(m) - 1
 	tail := bitvec.TailMask(m)
 	shards := par.Shards(m, pool.Workers())
+	pool.Label("cpm.build", obs.PhaseCPMBuild)
 	pool.Do(len(shards), func(_, si int) {
 		sh := shards[si]
 		d := make([]uint64, bitvec.Words(m))

@@ -213,6 +213,7 @@ func (c *CPM) Refresh(ed Edit, changed []circuit.NodeID, pool *par.Pool) Refresh
 	lastWord := bitvec.Words(c.m) - 1
 	tail := bitvec.TailMask(c.m)
 	shards := par.Shards(c.m, pool.Workers())
+	pool.Label("cpm.refresh", obs.PhaseCPMBuild)
 	pool.Do(len(shards), func(_, si int) {
 		sh := shards[si]
 		d := make([]uint64, bitvec.Words(c.m))

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -14,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -179,6 +181,9 @@ func parseDir(fset *token.FileSet, root, module, dir string) (*parsedDir, error)
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !fileIncluded(f) {
+			continue
 		}
 		d.allFiles = append(d.allFiles, f)
 		switch {
@@ -371,4 +376,45 @@ func SortDiagnostics(diags []Diagnostic) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
+}
+
+// fileIncluded evaluates f's //go:build constraint (if any) for the
+// default build configuration, so the loader sees the same file set as
+// a plain `go build` / `go test`. Without this, tag-gated file pairs
+// (e.g. `//go:build race` / `//go:build !race` both declaring the same
+// constant) type-check together and produce spurious redeclaration
+// errors.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return true // malformed: let the compiler report it
+				}
+				return expr.Eval(defaultBuildTag)
+			}
+		}
+	}
+	return true
+}
+
+// defaultBuildTag is the tag predicate of an un-tagged build: the host
+// OS/arch, the gc toolchain and its release tags are true; everything
+// else ("race", "ignore", custom tags) is false.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+	}
+	// Release tags go1.1 ... go1.N all hold for the running toolchain.
+	return strings.HasPrefix(tag, "go1.")
 }

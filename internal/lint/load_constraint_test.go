@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"runtime"
+	"testing"
+)
+
+func TestFileIncluded(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"untagged", "package p\n", true},
+		{"race tag excluded", "//go:build race\n\npackage p\n", false},
+		{"negated race included", "//go:build !race\n\npackage p\n", true},
+		{"host os", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"other os", "//go:build plan9 && !" + runtime.GOOS + "\n\npackage p\n", false},
+		{"release tag", "//go:build go1.20\n\npackage p\n", true},
+		{"ignore tag", "//go:build ignore\n\npackage p\n", false},
+		{"or with custom", "//go:build sometag || " + runtime.GOARCH + "\n\npackage p\n", true},
+		{"comment after package ignored", "package p\n\n//go:build race\n", true},
+	} {
+		f, err := parser.ParseFile(token.NewFileSet(), "x.go", tc.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := fileIncluded(f); got != tc.want {
+			t.Errorf("%s: fileIncluded = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultBuildTag(t *testing.T) {
+	for tag, want := range map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"gc":           true,
+		"go1.18":       true,
+		"race":         false,
+		"ignore":       false,
+		"msan":         false,
+	} {
+		if got := defaultBuildTag(tag); got != want {
+			t.Errorf("defaultBuildTag(%q) = %v, want %v", tag, got, want)
+		}
+	}
+}

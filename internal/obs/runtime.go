@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime sampler: publishes Go runtime health (scheduler latency, GC
+// pauses, goroutine count) as registry gauges, sampled from the
+// runtime/metrics API. These are the denominators the timeline profiler
+// needs — a dispatch that looks slow on the span timeline but coincides
+// with a GC pause or scheduler backlog is a runtime artefact, not an
+// algorithmic serial fraction.
+
+// DefaultRuntimeSampleInterval is the refresh period StartRuntimeSampler
+// uses when given a non-positive interval.
+const DefaultRuntimeSampleInterval = 250 * time.Millisecond
+
+// runtimeSamples are the runtime/metrics series the sampler reads.
+// Histogram-kind samples are reduced to quantile gauges.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/gc/pauses:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+}
+
+// StartRuntimeSampler starts a background goroutine publishing runtime
+// gauges into reg every interval:
+//
+//	runtime_goroutines            live goroutine count
+//	runtime_gomaxprocs            GOMAXPROCS (set once)
+//	runtime_sched_latency_p50_s   median goroutine scheduling latency
+//	runtime_sched_latency_p99_s   99th-percentile scheduling latency
+//	runtime_gc_pause_p99_s        99th-percentile stop-the-world pause
+//	runtime_gc_cycles_total       completed GC cycles
+//	runtime_heap_alloc_bytes_total  cumulative heap allocation
+//
+// Metrics the running Go version does not expose are skipped (KindBad
+// guard), so the sampler is portable across toolchains. The returned stop
+// halts the sampler after one final sample; it is idempotent and safe to
+// defer. A nil registry returns a no-op stop.
+func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = DefaultRuntimeSampleInterval
+	}
+
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+
+	goroutinesG := reg.Gauge("runtime_goroutines")
+	schedP50G := reg.Gauge("runtime_sched_latency_p50_s")
+	schedP99G := reg.Gauge("runtime_sched_latency_p99_s")
+	gcPauseP99G := reg.Gauge("runtime_gc_pause_p99_s")
+	gcCyclesG := reg.Gauge("runtime_gc_cycles_total")
+	heapAllocG := reg.Gauge("runtime_heap_alloc_bytes_total")
+	reg.Gauge("runtime_gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+
+	sample := func() {
+		metrics.Read(samples)
+		for i := range samples {
+			s := &samples[i]
+			if s.Value.Kind() == metrics.KindBad {
+				continue // series not exposed by this Go version
+			}
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				goroutinesG.Set(float64(s.Value.Uint64()))
+			case "/sched/latencies:seconds":
+				h := s.Value.Float64Histogram()
+				schedP50G.Set(histQuantile(h, 0.50))
+				schedP99G.Set(histQuantile(h, 0.99))
+			case "/gc/pauses:seconds":
+				gcPauseP99G.Set(histQuantile(s.Value.Float64Histogram(), 0.99))
+			case "/gc/cycles/total:gc-cycles":
+				gcCyclesG.Set(float64(s.Value.Uint64()))
+			case "/gc/heap/allocs:bytes":
+				heapAllocG.Set(float64(s.Value.Uint64()))
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample()
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// histQuantile extracts quantile q from a runtime/metrics cumulative-count
+// histogram, returning the upper bound of the bucket containing it.
+// Runtime histograms may have -Inf/+Inf edge buckets; those collapse to
+// the nearest finite bound (0 when the histogram is all-infinite or
+// empty).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			ub := h.Buckets[i+1]
+			if isInf(ub) {
+				ub = h.Buckets[i] // +Inf bucket: report the finite lower bound
+			}
+			if isInf(ub) || ub < 0 {
+				return 0
+			}
+			return ub
+		}
+	}
+	return 0
+}
+
+// isInf avoids importing math for the two infinity checks.
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Hour) // final sample happens at stop
+	stop()
+	stop() // idempotent
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"runtime_goroutines",
+		"runtime_gomaxprocs",
+		"runtime_sched_latency_p50_s",
+		"runtime_sched_latency_p99_s",
+		"runtime_gc_pause_p99_s",
+		"runtime_gc_cycles_total",
+		"runtime_heap_alloc_bytes_total",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q missing after sampler stop", name)
+		}
+	}
+	if g := snap.Gauges["runtime_goroutines"]; g < 1 {
+		t.Errorf("runtime_goroutines = %f, want >= 1", g)
+	}
+	if g := snap.Gauges["runtime_gomaxprocs"]; g != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("runtime_gomaxprocs = %f, want %d", g, runtime.GOMAXPROCS(0))
+	}
+	if g := snap.Gauges["runtime_heap_alloc_bytes_total"]; g <= 0 {
+		t.Errorf("runtime_heap_alloc_bytes_total = %f, want > 0", g)
+	}
+}
+
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	stop := StartRuntimeSampler(nil, 0)
+	stop() // must not panic
+}
+
+func TestRuntimeSamplerPeriodicSampling(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := reg.Snapshot().Gauges["runtime_goroutines"]; ok {
+			return // a tick fired before stop
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("no sample published within 2s at 1ms interval")
+}

@@ -1,0 +1,125 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the JSON Object Format of the Trace Event
+// spec, loadable by Perfetto and chrome://tracing. Each span becomes a
+// complete event ("ph":"X") with microsecond ts/dur; lanes map to
+// threads of one process, named via "M" thread_name metadata events so
+// the UI shows "driver", "worker 0", "worker 1", ... rows.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace-event JSON object.
+type traceFile struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// tracePID is the single synthetic process all lanes live under.
+const tracePID = 1
+
+// laneTID maps a span's worker to a trace thread id: the driver lane
+// (worker -1) is tid 1, worker w is tid w+2 (tid 0 is avoided — some
+// viewers treat it specially).
+func laneTID(worker int32) int {
+	return int(worker) + 2
+}
+
+// laneThreadName names a lane's thread row in the trace viewer.
+func laneThreadName(worker int32) string {
+	if worker < 0 {
+		return "driver"
+	}
+	return fmt.Sprintf("worker %d", worker)
+}
+
+// BuildTrace converts a span snapshot into the trace-event object. Kept
+// separate from WriteTrace so tests can assert on structure without
+// round-tripping JSON.
+func BuildTrace(spans []Span, dropped int64) *traceFile {
+	tf := &traceFile{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]traceEvent, 0, len(spans)+8),
+	}
+	if dropped > 0 {
+		tf.OtherData = map[string]any{"dropped_spans": dropped}
+	}
+	// Thread-name metadata for every lane that actually has spans.
+	seen := map[int32]bool{}
+	for i := range spans {
+		w := spans[i].Worker
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  tracePID,
+			TID:  laneTID(w),
+			Args: map[string]any{"name": laneThreadName(w)},
+		})
+	}
+	for i := range spans {
+		s := &spans[i]
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  s.Phase.String(),
+			Ph:   "X",
+			TS:   float64(s.T0) / 1e3, // trace-event ts/dur are microseconds
+			Dur:  float64(s.Dur()) / 1e3,
+			PID:  tracePID,
+			TID:  laneTID(s.Worker),
+			Args: map[string]any{
+				"span_id": s.ID,
+				"iter":    s.Iter,
+			},
+		}
+		if s.Parent != 0 {
+			ev.Args["parent"] = s.Parent
+		}
+		if s.Shard >= 0 {
+			ev.Args["shard"] = s.Shard
+		}
+		if s.Tasks > 0 {
+			ev.Args["tasks"] = s.Tasks
+		}
+		if s.Busy > 0 {
+			ev.Args["busy_ns"] = s.Busy
+			ev.Args["idle_ns"] = s.Idle()
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	return tf
+}
+
+// WriteTrace writes the recorder's current snapshot as Chrome
+// trace-event JSON (Perfetto-loadable). Safe while the flow is still
+// recording: it exports the published prefix of every lane.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	tf := BuildTrace(r.Snapshot(), r.Dropped())
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("timeline: encode trace: %w", err)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,169 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"batchals/internal/obs"
+)
+
+// TestWriteTraceValidTraceEventJSON round-trips an exported trace through
+// a plain JSON decode and checks the invariants the Trace Event Format
+// (Perfetto, chrome://tracing) requires: a traceEvents array of "X"
+// complete events with microsecond ts/dur, one "M" thread_name metadata
+// event per lane, and a single pid.
+func TestWriteTraceValidTraceEventJSON(t *testing.T) {
+	r := NewRecorder(3, 32)
+	r.SetIter(2)
+	// A dispatch span on the driver lane with two worker children.
+	dispatch := r.Emit(0, Span{
+		Name: "par:sim.simulate", Phase: obs.PhaseSimulate,
+		Worker: -1, Shard: -1, Iter: 2,
+		T0: 1_000, T1: 9_000, Busy: 6_000, Tasks: 8,
+	})
+	r.Emit(1, Span{
+		Name: "par:sim.simulate", Phase: obs.PhaseSimulate,
+		Parent: dispatch, Worker: 0, Shard: 0, Iter: 2,
+		T0: 1_200, T1: 8_000, Busy: 4_000, Tasks: 5,
+	})
+	r.Emit(2, Span{
+		Name: "par:sim.simulate", Phase: obs.PhaseSimulate,
+		Parent: dispatch, Worker: 1, Shard: -1, Iter: 2,
+		T0: 1_300, T1: 7_000, Busy: 2_000, Tasks: 3,
+	})
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+
+	threadNames := map[int]string{}
+	var xEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			mEvents++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name = %q", ev.Name)
+			}
+			name, _ := ev.Args["name"].(string)
+			threadNames[ev.TID] = name
+		case "X":
+			xEvents++
+			if ev.PID != 1 {
+				t.Errorf("pid = %d, want 1", ev.PID)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur: %f/%f", ev.TS, ev.Dur)
+			}
+			if _, ok := ev.Args["span_id"]; !ok {
+				t.Error("X event missing span_id arg")
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if xEvents != 3 {
+		t.Errorf("X events = %d, want 3", xEvents)
+	}
+	if mEvents != 3 {
+		t.Errorf("thread_name events = %d, want 3 (driver + 2 workers)", mEvents)
+	}
+	if threadNames[1] != "driver" || threadNames[2] != "worker 0" || threadNames[3] != "worker 1" {
+		t.Errorf("thread names = %v", threadNames)
+	}
+
+	// Microsecond conversion: the dispatch span starts at 1000ns = 1us and
+	// lasts 8000ns = 8us.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.TID == 1 {
+			found = true
+			if ev.TS != 1.0 || ev.Dur != 8.0 {
+				t.Errorf("driver span ts/dur = %f/%f us, want 1/8", ev.TS, ev.Dur)
+			}
+			if busy, ok := ev.Args["busy_ns"].(float64); !ok || busy != 6000 {
+				t.Errorf("busy_ns = %v, want 6000", ev.Args["busy_ns"])
+			}
+			if idle, ok := ev.Args["idle_ns"].(float64); !ok || idle != 2000 {
+				t.Errorf("idle_ns = %v, want 2000", ev.Args["idle_ns"])
+			}
+		}
+	}
+	if !found {
+		t.Error("driver-lane X event not found")
+	}
+}
+
+func TestBuildTraceDroppedSpans(t *testing.T) {
+	tf := BuildTrace(nil, 17)
+	if tf.OtherData["dropped_spans"] != int64(17) {
+		t.Errorf("otherData dropped_spans = %v, want 17", tf.OtherData["dropped_spans"])
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Errorf("empty snapshot produced %d events", len(tf.TraceEvents))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		{Name: "par:a", Worker: -1, Shard: -1, T0: 0, T1: 100, Busy: 60, Tasks: 4},
+		{Name: "par:a", Worker: 0, Shard: -1, Parent: 1, T0: 10, T1: 90, Busy: 60, Tasks: 4},
+		{Name: "serial", Worker: -1, Shard: -1, T0: 100, T1: 400},
+	}
+	sum := Summarize(spans, 2)
+	if sum.Wall() != 400 {
+		t.Errorf("Wall = %v, want 400", sum.Wall())
+	}
+	if sum.DispatchWall != 100 {
+		t.Errorf("DispatchWall = %v, want 100 (only driver-lane spans with tasks)", sum.DispatchWall)
+	}
+	if pf := sum.ParallelFraction(); pf != 0.25 {
+		t.Errorf("ParallelFraction = %f, want 0.25", pf)
+	}
+	if sum.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", sum.Dropped)
+	}
+	if len(sum.Stats) != 2 {
+		t.Fatalf("Stats len = %d, want 2", len(sum.Stats))
+	}
+	// Sorted by Wall descending: "serial" (300) before "par:a" (180).
+	if sum.Stats[0].Name != "serial" || sum.Stats[1].Name != "par:a" {
+		t.Errorf("Stats order = %q, %q", sum.Stats[0].Name, sum.Stats[1].Name)
+	}
+	pa := sum.Stats[1]
+	if pa.Count != 2 || pa.Wall != 180 || pa.Busy != 120 || pa.Idle != 60 || pa.Max != 100 {
+		t.Errorf("par:a stat = %+v", pa)
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteSummary(&buf); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serial", "par:a", "parallel fraction 25.0%", "dropped spans"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// NameStat aggregates all spans sharing a name.
+type NameStat struct {
+	Name  string
+	Count int
+	// Wall is the summed span duration; for driver-lane spans this is
+	// flow wall-clock, for worker spans it is summed across workers (so it
+	// can exceed the run's wall time on multi-worker runs).
+	Wall time.Duration
+	// Busy and Idle split Wall for spans carrying busy accounting.
+	Busy, Idle time.Duration
+	Max        time.Duration
+}
+
+// Summary is the per-name rollup of a span snapshot, plus the coverage
+// numbers the serial-fraction analysis needs.
+type Summary struct {
+	Stats []NameStat // sorted by Wall descending
+	// Span covers [T0,T1] of the whole recording.
+	T0, T1 int64
+	// DispatchWall is the total wall time inside pool dispatches (driver
+	// lane "par:" dispatch spans) — the parallelised fraction's numerator.
+	DispatchWall time.Duration
+	Dropped      int64
+}
+
+// Wall returns the recording's total wall duration.
+func (s *Summary) Wall() time.Duration { return time.Duration(s.T1 - s.T0) }
+
+// ParallelFraction returns the fraction of recorded wall time spent
+// inside pool dispatches — the P of Amdahl's law for the recorded run.
+func (s *Summary) ParallelFraction() float64 {
+	w := s.T1 - s.T0
+	if w <= 0 {
+		return 0
+	}
+	return float64(s.DispatchWall) / float64(w)
+}
+
+// Summarize rolls a snapshot up by span name.
+func Summarize(spans []Span, dropped int64) *Summary {
+	sum := &Summary{Dropped: dropped}
+	byName := map[string]*NameStat{}
+	for i := range spans {
+		s := &spans[i]
+		if i == 0 || s.T0 < sum.T0 {
+			sum.T0 = s.T0
+		}
+		if s.T1 > sum.T1 {
+			sum.T1 = s.T1
+		}
+		st := byName[s.Name]
+		if st == nil {
+			st = &NameStat{Name: s.Name}
+			byName[s.Name] = st
+		}
+		d := time.Duration(s.Dur())
+		st.Count++
+		st.Wall += d
+		if d > st.Max {
+			st.Max = d
+		}
+		if s.Busy > 0 {
+			st.Busy += time.Duration(s.Busy)
+			st.Idle += time.Duration(s.Idle())
+		}
+		// Dispatch spans live on the driver lane with worker -1 and a
+		// task count; their union approximates the parallelised wall time.
+		if s.Worker < 0 && s.Tasks > 0 {
+			sum.DispatchWall += d
+		}
+	}
+	sum.Stats = make([]NameStat, 0, len(byName))
+	for _, st := range byName {
+		sum.Stats = append(sum.Stats, *st)
+	}
+	sort.Slice(sum.Stats, func(a, b int) bool {
+		if sum.Stats[a].Wall != sum.Stats[b].Wall {
+			return sum.Stats[a].Wall > sum.Stats[b].Wall
+		}
+		return sum.Stats[a].Name < sum.Stats[b].Name
+	})
+	return sum
+}
+
+// WriteSummary renders the rollup as an aligned text table (the
+// `alsrun -timeline` end-of-run report).
+func (s *Summary) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "span\tcount\twall\tbusy\tidle\tmax\n")
+	for _, st := range s.Stats {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%v\n",
+			st.Name, st.Count,
+			st.Wall.Round(time.Microsecond),
+			st.Busy.Round(time.Microsecond),
+			st.Idle.Round(time.Microsecond),
+			st.Max.Round(time.Microsecond))
+	}
+	fmt.Fprintf(tw, "\ntotal wall\t%v\n", s.Wall().Round(time.Microsecond))
+	fmt.Fprintf(tw, "in dispatches\t%v (parallel fraction %.1f%%)\n",
+		s.DispatchWall.Round(time.Microsecond), 100*s.ParallelFraction())
+	if s.Dropped > 0 {
+		fmt.Fprintf(tw, "dropped spans\t%d\n", s.Dropped)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("timeline: write summary: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package timeline
+
+import (
+	"batchals/internal/obs"
+)
+
+// FlowTracer adapts a Recorder to the obs.Tracer interface so the SASIMI
+// flow's existing phase/iteration events land on the driver lane without
+// any new hook points. It declines OnCandidate via the CandidateFilter
+// capability, keeping the zero-alloc scoring fast path intact when the
+// timeline is the only attached tracer.
+type FlowTracer struct {
+	rec *Recorder
+	// phaseNames are the "phase:<name>" span names, precomputed so
+	// OnPhase allocates nothing.
+	phaseNames [obs.NumPhases + 1]string
+}
+
+// NewFlowTracer returns a tracer feeding rec, or nil when rec is nil so
+// obs.Multi drops it.
+func NewFlowTracer(rec *Recorder) *FlowTracer {
+	if rec == nil {
+		return nil
+	}
+	ft := &FlowTracer{rec: rec}
+	for p := obs.Phase(0); p <= obs.NumPhases; p++ {
+		ft.phaseNames[p] = "phase:" + p.String()
+	}
+	return ft
+}
+
+// WantsCandidates declines per-candidate events: the timeline records
+// candidate work as verify spans, not as the high-volume scoring stream.
+func (ft *FlowTracer) WantsCandidates() bool { return false }
+
+// OnPhase records the completed phase span on the driver lane. The event
+// carries a duration, not a start time, so the span is reconstructed
+// backwards from the current instant; the skew versus the true start is
+// the tracer fan-out latency, well under a microsecond.
+func (ft *FlowTracer) OnPhase(i obs.PhaseInfo) {
+	now := ft.rec.Now()
+	name := ft.phaseNames[obs.NumPhases]
+	if i.Phase < obs.NumPhases {
+		name = ft.phaseNames[i.Phase]
+	}
+	ft.rec.Emit(0, Span{
+		Name:   name,
+		Phase:  i.Phase,
+		Worker: -1,
+		Shard:  -1,
+		Iter:   int32(i.Iter),
+		T0:     now - int64(i.Duration),
+		T1:     now,
+	})
+}
+
+// OnIteration records the whole iteration as a span. (The iteration
+// label for in-flight spans is advanced by the flow via SetIter, not
+// here — this event fires at iteration end.)
+func (ft *FlowTracer) OnIteration(i obs.IterationInfo) {
+	now := ft.rec.Now()
+	ft.rec.Emit(0, Span{
+		Name:   "iteration",
+		Phase:  obs.PhaseEstimate,
+		Worker: -1,
+		Shard:  -1,
+		Iter:   int32(i.Iter),
+		T0:     now - int64(i.Duration),
+		T1:     now,
+	})
+}
+
+// OnCandidate is declared to satisfy obs.Tracer but never called: the
+// flow honours WantsCandidates.
+func (ft *FlowTracer) OnCandidate(obs.CandidateInfo) {}
+
+// OnAccept records an instantaneous accept marker on the driver lane.
+func (ft *FlowTracer) OnAccept(i obs.AcceptInfo) {
+	now := ft.rec.Now()
+	ft.rec.Emit(0, Span{
+		Name:   "accept",
+		Phase:  obs.PhaseVerifyApply,
+		Worker: -1,
+		Shard:  -1,
+		Iter:   int32(i.Iter),
+		T0:     now,
+		T1:     now,
+	})
+}

@@ -19,11 +19,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
 )
 
 // Always-on substrate counters on the default metrics registry, matching
@@ -68,12 +70,35 @@ type Pool struct {
 	inflight   atomic.Int64
 	perBusyNS  []atomic.Int64
 	lastTaskNS []atomic.Int64
+
+	// Timeline recording (AttachTimeline). All fields below are touched
+	// only when rec is non-nil, so the nil-recorder dispatch path keeps
+	// its zero-allocation guarantee (one pointer test per dispatch/task).
+	//
+	// tlT0..tlShard are per-worker per-dispatch scratch: reset by the
+	// dispatching goroutine before any task is enqueued, written by worker
+	// w at index w while its tasks run, and read by the dispatcher after
+	// the batch barrier. The channel send (reset→task) and WaitGroup.Wait
+	// (task→read) edges make the plain slices race-free.
+	rec         *timeline.Recorder
+	pprofLabels bool
+	labelName   string
+	labelPhase  obs.Phase
+	tlT0        []int64
+	tlT1        []int64
+	tlBusy      []int64
+	tlTasks     []int32
+	tlShard     []int32
 }
 
 type task struct {
 	fn   func(worker, task int)
 	idx  int
 	done *sync.WaitGroup
+	// labels, when non-nil, carries the dispatch's pprof label set
+	// (als_dispatch / als_phase); workers apply it to their goroutine so
+	// CPU profiles attribute samples to the dispatch site.
+	labels context.Context
 }
 
 // NewPool returns a pool with the given number of workers. workers <= 0
@@ -104,16 +129,21 @@ func NewPool(workers int) *Pool {
 
 func (p *Pool) worker(w int) {
 	defer p.wg.Done()
+	var curLabels context.Context
 	for t := range p.tasks {
+		if t.labels != nil && t.labels != curLabels {
+			pprof.SetGoroutineLabels(t.labels)
+			curLabels = t.labels
+		}
 		p.inflight.Add(1)
 		start := time.Now()
 		t.fn(w, t.idx)
-		p.finishTask(w, time.Since(start))
+		p.finishTask(w, start, time.Since(start), t.idx)
 		t.done.Done()
 	}
 }
 
-func (p *Pool) finishTask(w int, d time.Duration) {
+func (p *Pool) finishTask(w int, start time.Time, d time.Duration, idx int) {
 	p.busyNS.Add(int64(d))
 	p.inflight.Add(-1)
 	statPoolTasks.Inc()
@@ -125,6 +155,135 @@ func (p *Pool) finishTask(w int, d time.Duration) {
 		p.perBusyNS[w].Add(int64(d))
 		p.lastTaskNS[w].Store(int64(d))
 	}
+	if p.rec != nil && w < len(p.tlTasks) {
+		// Fold this task into worker w's per-dispatch window. Writing
+		// before done.Done() keeps the dispatcher's post-Wait read ordered
+		// after every task's update.
+		t0 := p.rec.Rel(start)
+		if p.tlTasks[w] == 0 {
+			p.tlT0[w] = t0
+			p.tlShard[w] = int32(idx)
+		} else {
+			p.tlShard[w] = -1
+		}
+		p.tlT1[w] = t0 + int64(d)
+		p.tlBusy[w] += int64(d)
+		p.tlTasks[w]++
+	}
+}
+
+// AttachTimeline wires a span recorder into the pool: every subsequent
+// Do/DoCtx dispatch emits one driver-lane dispatch span plus one span per
+// participating worker (busy/idle/barrier-wait attributable per worker).
+// When pprofLabels is set, worker goroutines additionally carry
+// als_dispatch/als_phase pprof labels for the duration of each dispatch,
+// so CPU profiles attribute samples to dispatch sites.
+//
+// A nil rec detaches. AttachTimeline must not be called concurrently
+// with Do/DoCtx.
+func (p *Pool) AttachTimeline(rec *timeline.Recorder, pprofLabels bool) {
+	if p == nil {
+		return
+	}
+	p.rec = rec
+	p.pprofLabels = pprofLabels && rec != nil
+	if rec != nil && p.tlT0 == nil {
+		n := p.workers
+		p.tlT0 = make([]int64, n)
+		p.tlT1 = make([]int64, n)
+		p.tlBusy = make([]int64, n)
+		p.tlTasks = make([]int32, n)
+		p.tlShard = make([]int32, n)
+	}
+	if p.labelName == "" {
+		p.labelName = "par.do"
+		p.labelPhase = obs.NumPhases // "unknown" until a call site labels
+	}
+}
+
+// Timeline returns the attached recorder (nil when detached or p is nil).
+func (p *Pool) Timeline() *timeline.Recorder {
+	if p == nil {
+		return nil
+	}
+	return p.rec
+}
+
+// Label names subsequent dispatches for the timeline (sticky until the
+// next call). Call sites label just before their Do/DoCtx; the no-op on
+// an unattached pool keeps the hot path free of recording cost.
+func (p *Pool) Label(name string, phase obs.Phase) {
+	if p == nil || p.rec == nil {
+		return
+	}
+	p.labelName = name
+	p.labelPhase = phase
+}
+
+// beginDispatch resets the per-worker scratch and opens the dispatch
+// window. The bool reports whether recording is active for this dispatch.
+func (p *Pool) beginDispatch() (int64, bool) {
+	if p == nil || p.rec == nil {
+		return 0, false
+	}
+	for w := range p.tlTasks {
+		p.tlTasks[w] = 0
+		p.tlBusy[w] = 0
+	}
+	return p.rec.Now(), true
+}
+
+// endDispatch emits the dispatch span and the per-worker spans gathered
+// since beginDispatch. Runs on the dispatching goroutine after the batch
+// barrier, so it is the single writer of every lane it touches.
+func (p *Pool) endDispatch(t0 int64, n int) {
+	rec := p.rec
+	t1 := rec.Now()
+	iter := rec.Iter()
+	var busy int64
+	for w := range p.tlBusy {
+		busy += p.tlBusy[w]
+	}
+	id := rec.Emit(0, timeline.Span{
+		Name:   p.labelName,
+		Phase:  p.labelPhase,
+		Worker: -1,
+		Shard:  -1,
+		Iter:   iter,
+		T0:     t0,
+		T1:     t1,
+		Busy:   busy,
+		Tasks:  int32(n),
+	})
+	for w := range p.tlTasks {
+		if p.tlTasks[w] == 0 {
+			continue
+		}
+		rec.Emit(w+1, timeline.Span{
+			Parent: id,
+			Name:   p.labelName,
+			Phase:  p.labelPhase,
+			Worker: int32(w),
+			Shard:  p.tlShard[w],
+			Iter:   iter,
+			T0:     p.tlT0[w],
+			T1:     p.tlT1[w],
+			Busy:   p.tlBusy[w],
+			Tasks:  p.tlTasks[w],
+		})
+	}
+}
+
+// dispatchLabels builds the pprof label context for one dispatch, derived
+// from base (the caller's ctx in DoCtx, Background in Do).
+func (p *Pool) dispatchLabels(base context.Context) context.Context {
+	if !p.pprofLabels {
+		return nil
+	}
+	return pprof.WithLabels(base, pprof.Labels(
+		"als_dispatch", p.labelName,
+		"als_phase", p.labelPhase.String(),
+	))
 }
 
 // Workers returns the pool's worker count; a nil pool reports 1.
@@ -148,6 +307,7 @@ func (p *Pool) Do(n int, fn func(worker, task int)) {
 		return
 	}
 	if p == nil || p.workers == 1 || n == 1 {
+		dispT0, tl := p.beginDispatch()
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			if p != nil {
@@ -156,24 +316,35 @@ func (p *Pool) Do(n int, fn func(worker, task int)) {
 			ts := time.Now()
 			fn(0, i)
 			if p != nil {
-				p.finishTask(0, time.Since(ts))
+				p.finishTask(0, ts, time.Since(ts), i)
 			}
 		}
 		if p != nil {
 			p.wallNS.Add(int64(time.Since(start)))
 			statPoolRuns.Inc()
+			if tl {
+				p.endDispatch(dispT0, n)
+			}
 		}
 		return
+	}
+	dispT0, tl := p.beginDispatch()
+	var labels context.Context
+	if tl {
+		labels = p.dispatchLabels(context.Background())
 	}
 	start := time.Now()
 	var done sync.WaitGroup
 	done.Add(n)
 	for i := 0; i < n; i++ {
-		p.tasks <- task{fn: fn, idx: i, done: &done}
+		p.tasks <- task{fn: fn, idx: i, done: &done, labels: labels}
 	}
 	done.Wait()
 	p.wallNS.Add(int64(time.Since(start)))
 	statPoolRuns.Inc()
+	if tl {
+		p.endDispatch(dispT0, n)
+	}
 }
 
 // DoCtx is Do with cooperative cancellation: it stops dispatching new
@@ -190,12 +361,16 @@ func (p *Pool) DoCtx(ctx context.Context, n int, fn func(worker, task int)) erro
 		return ctx.Err()
 	}
 	if p == nil || p.workers == 1 || n == 1 {
+		dispT0, tl := p.beginDispatch()
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				if p != nil {
 					p.wallNS.Add(int64(time.Since(start)))
 					statPoolRuns.Inc()
+					if tl {
+						p.endDispatch(dispT0, i)
+					}
 				}
 				return err
 			}
@@ -205,25 +380,35 @@ func (p *Pool) DoCtx(ctx context.Context, n int, fn func(worker, task int)) erro
 			ts := time.Now()
 			fn(0, i)
 			if p != nil {
-				p.finishTask(0, time.Since(ts))
+				p.finishTask(0, ts, time.Since(ts), i)
 			}
 		}
 		if p != nil {
 			p.wallNS.Add(int64(time.Since(start)))
 			statPoolRuns.Inc()
+			if tl {
+				p.endDispatch(dispT0, n)
+			}
 		}
 		return nil
+	}
+	dispT0, tl := p.beginDispatch()
+	var labels context.Context
+	if tl {
+		labels = p.dispatchLabels(ctx)
 	}
 	start := time.Now()
 	var done sync.WaitGroup
 	var err error
+	enqueued := 0
 	for i := 0; i < n; i++ {
 		if err = ctx.Err(); err != nil {
 			break
 		}
 		done.Add(1)
 		select {
-		case p.tasks <- task{fn: fn, idx: i, done: &done}:
+		case p.tasks <- task{fn: fn, idx: i, done: &done, labels: labels}:
+			enqueued++
 		case <-ctx.Done():
 			done.Done() // the task was never enqueued
 			err = ctx.Err()
@@ -235,6 +420,9 @@ func (p *Pool) DoCtx(ctx context.Context, n int, fn func(worker, task int)) erro
 	done.Wait()
 	p.wallNS.Add(int64(time.Since(start)))
 	statPoolRuns.Inc()
+	if tl {
+		p.endDispatch(dispT0, enqueued)
+	}
 	return err
 }
 

@@ -1,0 +1,180 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
+)
+
+// TestPoolTimelineAccountingRace pins the dispatch-accounting invariants
+// at worker counts 1, 4 and NumCPU (run with -race in CI): every dispatch
+// emits exactly one driver-lane span; every worker span nests inside its
+// dispatch, carries a non-negative barrier wait, and never reports more
+// busy time than its own wall window; and the dispatch span's busy and
+// task totals equal the sums over its worker spans.
+func TestPoolTimelineAccountingRace(t *testing.T) {
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		t.Run(poolName(workers), func(t *testing.T) {
+			pool := NewPool(workers)
+			defer pool.Close()
+			rec := timeline.NewRecorder(workers+1, 0)
+			pool.AttachTimeline(rec, true)
+			if pool.Timeline() != rec {
+				t.Fatal("Timeline() did not return the attached recorder")
+			}
+
+			const dispatches, tasks = 5, 23
+			var executed atomic.Int64
+			rec.SetIter(3)
+			for d := 0; d < dispatches; d++ {
+				pool.Label("par.test", obs.PhaseEstimate)
+				pool.Do(tasks, func(worker, task int) {
+					executed.Add(1)
+					time.Sleep(100 * time.Microsecond)
+				})
+			}
+			if got := executed.Load(); got != dispatches*tasks {
+				t.Fatalf("executed %d tasks, want %d", got, dispatches*tasks)
+			}
+
+			spans := rec.Snapshot()
+			byParent := map[int64][]timeline.Span{}
+			var dispatchSpans []timeline.Span
+			for _, s := range spans {
+				if s.Worker < 0 {
+					dispatchSpans = append(dispatchSpans, s)
+				} else {
+					byParent[s.Parent] = append(byParent[s.Parent], s)
+				}
+			}
+			if len(dispatchSpans) != dispatches {
+				t.Fatalf("dispatch spans = %d, want %d", len(dispatchSpans), dispatches)
+			}
+
+			for _, ds := range dispatchSpans {
+				if ds.Name != "par.test" || ds.Phase != obs.PhaseEstimate {
+					t.Errorf("dispatch span label = %q/%v, want par.test/estimate", ds.Name, ds.Phase)
+				}
+				if ds.Iter != 3 {
+					t.Errorf("dispatch Iter = %d, want 3 (SetIter)", ds.Iter)
+				}
+				if ds.Tasks != tasks {
+					t.Errorf("dispatch Tasks = %d, want %d", ds.Tasks, tasks)
+				}
+				if ds.Dur() < 0 {
+					t.Errorf("dispatch T1 %d < T0 %d", ds.T1, ds.T0)
+				}
+
+				children := byParent[ds.ID]
+				if len(children) == 0 || len(children) > workers {
+					t.Fatalf("dispatch %d has %d worker spans, want 1..%d", ds.ID, len(children), workers)
+				}
+				var childBusy int64
+				var childTasks int32
+				seenWorker := map[int32]bool{}
+				for _, ws := range children {
+					if seenWorker[ws.Worker] {
+						t.Errorf("worker %d emitted two spans for dispatch %d", ws.Worker, ds.ID)
+					}
+					seenWorker[ws.Worker] = true
+					if ws.T0 < ds.T0 || ws.T1 > ds.T1 {
+						t.Errorf("worker span [%d,%d] outside dispatch [%d,%d]",
+							ws.T0, ws.T1, ds.T0, ds.T1)
+					}
+					if wait := ds.T1 - ws.T1; wait < 0 {
+						t.Errorf("negative barrier wait %d for worker %d", wait, ws.Worker)
+					}
+					if ws.Busy > ws.Dur() {
+						t.Errorf("worker %d busy %d exceeds span wall %d", ws.Worker, ws.Busy, ws.Dur())
+					}
+					if ws.Busy+ws.Idle() != ws.Dur() {
+						t.Errorf("worker %d busy %d + idle %d != wall %d",
+							ws.Worker, ws.Busy, ws.Idle(), ws.Dur())
+					}
+					if ws.Tasks <= 0 {
+						t.Errorf("worker span with %d tasks recorded", ws.Tasks)
+					}
+					childBusy += ws.Busy
+					childTasks += ws.Tasks
+				}
+				if childTasks != ds.Tasks {
+					t.Errorf("worker spans cover %d tasks, dispatch says %d", childTasks, ds.Tasks)
+				}
+				if childBusy != ds.Busy {
+					t.Errorf("worker busy sum %d != dispatch busy %d", childBusy, ds.Busy)
+				}
+			}
+		})
+	}
+}
+
+func poolName(workers int) string {
+	switch workers {
+	case 1:
+		return "workers=1"
+	case 4:
+		return "workers=4"
+	}
+	return "workers=NumCPU"
+}
+
+// TestPoolTimelineDoCtxCancelRace checks the accounting stays consistent
+// when a dispatch is cancelled mid-flight: the dispatch span still closes,
+// and no worker span escapes its window.
+func TestPoolTimelineDoCtxCancelRace(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	rec := timeline.NewRecorder(5, 0)
+	pool.AttachTimeline(rec, false)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	pool.Label("par.cancel", obs.PhaseSimulate)
+	err := pool.DoCtx(ctx, 64, func(worker, task int) {
+		if n.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx err = %v, want context.Canceled", err)
+	}
+
+	spans := rec.Snapshot()
+	var dispatch *timeline.Span
+	for i := range spans {
+		if spans[i].Worker < 0 {
+			if dispatch != nil {
+				t.Fatal("more than one dispatch span")
+			}
+			dispatch = &spans[i]
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("cancelled dispatch emitted no span")
+	}
+	for _, s := range spans {
+		if s.Worker >= 0 && (s.T0 < dispatch.T0 || s.T1 > dispatch.T1) {
+			t.Errorf("worker span [%d,%d] outside cancelled dispatch [%d,%d]",
+				s.T0, s.T1, dispatch.T0, dispatch.T1)
+		}
+	}
+}
+
+// TestPoolNoTimelineNoSpans confirms a pool without a recorder attached
+// emits nothing and Label is a no-op.
+func TestPoolNoTimelineNoSpans(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	pool.Label("ignored", obs.PhaseEstimate)
+	pool.Do(8, func(worker, task int) {})
+	if pool.Timeline() != nil {
+		t.Error("Timeline() non-nil without AttachTimeline")
+	}
+}

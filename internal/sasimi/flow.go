@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"batchals/internal/emetric"
 	"batchals/internal/flow"
 	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
 	"batchals/internal/par"
 	"batchals/internal/sim"
 )
@@ -105,6 +107,16 @@ type Config struct {
 	// keep it on; production callers pay one DFS per accepted
 	// substitution if they opt in.
 	CheckInvariants bool
+	// Timeline, when non-nil, records the run's causal span timeline: one
+	// dispatch span plus per-worker spans for every pool fan-out
+	// (simulation, CPM build/refresh, gather, scoring), flow-phase and
+	// iteration spans, and verify/apply/measure spans — exportable as
+	// Chrome trace-event JSON (Recorder.WriteTrace) for Perfetto. Worker
+	// goroutines additionally carry als_dispatch/als_phase pprof labels
+	// while a timeline is attached. A nil Timeline costs nothing (one
+	// predictable branch per dispatch) and the recorded computation is
+	// bit-identical either way.
+	Timeline *timeline.Recorder
 
 	// verifyIncremental cross-checks the incremental engine against the
 	// full-rebuild computation every iteration: the incremental candidate
@@ -436,16 +448,28 @@ func RunContext(goCtx context.Context, golden *circuit.Network, cfg Config) (*Re
 		return nil, fmt.Errorf("sasimi: invalid input network: %w", err)
 	}
 
+	// TrackMem (ReadMemStats per phase span) keys off the caller's sinks,
+	// computed before the timeline tracer is merged in: attaching only a
+	// Timeline must not add stop-the-world sampling to the run.
 	observed := cfg.Tracer != nil || cfg.Metrics != nil
+	if cfg.Timeline != nil {
+		cfg.Tracer = obs.Multi(cfg.Tracer, timeline.NewFlowTracer(cfg.Timeline))
+	}
 	prof := &obs.Profile{Tracer: cfg.Tracer, TrackMem: observed}
 
 	pool := par.NewPool(cfg.Workers)
 	defer pool.Close()
+	if cfg.Timeline != nil {
+		pool.AttachTimeline(cfg.Timeline, true)
+	}
 	if cfg.Metrics != nil {
-		// Live worker-utilization / inflight gauges, refreshed while the
-		// run is in flight and finalised when the flow returns.
+		// Live worker-utilization / inflight gauges plus Go runtime health
+		// (sched latency, GC pauses, goroutines), refreshed while the run
+		// is in flight and finalised when the flow returns.
 		stopSampler := pool.SampleInto(cfg.Metrics, 0)
 		defer stopSampler()
+		stopRuntime := obs.StartRuntimeSampler(cfg.Metrics, 0)
+		defer stopRuntime()
 	}
 
 	sp := prof.Begin(obs.PhasePatternGen)
@@ -500,6 +524,7 @@ loop:
 		}
 		iterStart := time.Now()
 		prof.Iter = iter
+		cfg.Timeline.SetIter(iter)
 
 		sp = prof.Begin(obs.PhaseSimulate)
 		if eng == nil || !incremental {
@@ -575,7 +600,9 @@ loop:
 
 		sp = prof.Begin(obs.PhaseVerifyApply)
 		if cfg.VerifyTopK > 0 && cfg.Estimator != EstimatorFull && len(feasible) > 0 {
+			tlv := cfg.Timeline.Start("sasimi.verify_topk", obs.PhaseVerifyApply)
 			best = verifyTopK(approx, vals, st, cfg, cands, feasible, curErr, scratch, change, o, iter)
+			cfg.Timeline.End(tlv)
 		}
 		res.EstimateTime += time.Since(estStart)
 		if best == -1 {
@@ -587,6 +614,7 @@ loop:
 
 		// Apply the substitution on a backup so an over-budget result can
 		// be rolled back, then measure the actual error (paper §3.2).
+		tla := cfg.Timeline.Start("sasimi.apply", obs.PhaseVerifyApply)
 		backup := approx.Clone()
 		ed := applyCandidate(approx, &chosen)
 		if cfg.CheckInvariants {
@@ -595,11 +623,13 @@ loop:
 				return nil, err
 			}
 		}
+		cfg.Timeline.End(tla)
 
 		// Measure the actual error on the same pattern set. Incrementally:
 		// resimulate only the edit's fanout cones in place and refresh the
 		// error state — bit-identical to the full resimulation by
 		// construction. The full path rebuilds everything next iteration.
+		tlm := cfg.Timeline.Start("sasimi.measure", obs.PhaseVerifyApply)
 		var actual float64
 		var wrongCount int64
 		if incremental {
@@ -614,6 +644,7 @@ loop:
 			actual = cfg.Metric.Value(newSt)
 			wrongCount = int64(newSt.WrongAny.Count())
 		}
+		cfg.Timeline.End(tlm)
 		predicted := curErr + chosen.Delta
 		if actual > cfg.Threshold+1e-12 {
 			// The estimate was wrong and the budget is blown: restore the
@@ -788,7 +819,20 @@ func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
 		c := &cands[idx]
 		sub := c.substituteValue(vals, scratch)
 		batchDelta, wasExact := c.Delta, c.Exact
-		c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
+		if tl := cfg.Timeline; tl != nil {
+			// Per-candidate span + pprof label set: CPU profile samples of
+			// the exact recheck attribute to the candidate being verified.
+			tlc := tl.Start("sasimi.verify_cand", obs.PhaseVerifyApply)
+			pprof.Do(context.Background(), pprof.Labels(
+				"als_dispatch", "sasimi.verify_cand",
+				"als_candidate", net.NameOf(c.Target),
+			), func(context.Context) {
+				c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
+			})
+			tl.End(tlc)
+		} else {
+			c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
+		}
 		c.Exact = true
 		c.Score = score(c.AreaGain, c.Delta, vals.M)
 		o.verified(iter, c, batchDelta, c.Delta, wasExact)
@@ -864,6 +908,9 @@ func EstimateAll(golden, approx *circuit.Network, cfg Config) ([]Candidate, erro
 	}
 	pool := par.NewPool(cfg.Workers)
 	defer pool.Close()
+	if cfg.Timeline != nil {
+		pool.AttachTimeline(cfg.Timeline, true)
+	}
 	patterns := cfg.Patterns
 	if patterns == nil {
 		patterns = sim.RandomPatterns(golden.NumInputs(), cfg.NumPatterns, cfg.Seed)

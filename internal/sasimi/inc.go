@@ -6,6 +6,7 @@ import (
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
+	"batchals/internal/obs"
 	"batchals/internal/par"
 )
 
@@ -64,6 +65,7 @@ type gatherCache struct {
 func (gc *gatherCache) full(goCtx context.Context, env *gatherEnv, pool *par.Pool) ([]Candidate, error) {
 	gc.data = make([]targetData, env.net.NumSlots())
 	targets := liveGateTargets(env.net)
+	pool.Label("sasimi.gather", obs.PhaseEstimate)
 	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
 		t := targets[ti]
 		gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
@@ -190,6 +192,7 @@ func (gc *gatherCache) update(goCtx context.Context, env *gatherEnv, ed *core.Ed
 	targets := liveGateTargets(n)
 	dirtyT := make([]bool, slots)
 	freshBy := make([][]Candidate, len(targets))
+	pool.Label("sasimi.gather_inc", obs.PhaseEstimate)
 	err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
 		t := targets[ti]
 		td := &gc.data[t]

@@ -6,6 +6,7 @@ import (
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
 	"batchals/internal/core"
+	"batchals/internal/obs"
 	"batchals/internal/par"
 	"batchals/internal/sim"
 )
@@ -32,6 +33,7 @@ func gatherCandidatesParallel(goCtx context.Context, net *circuit.Network, vals 
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
+	pool.Label("sasimi.gather", obs.PhaseEstimate)
 	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
 		td := env.computeTarget(targets[ti], bitvec.New(env.m), false)
 		buckets[ti] = td.bucket
@@ -124,6 +126,7 @@ func scoreCandidatesSharded(ctx *iterContext, cands []Candidate,
 	}
 	last := words - 1
 	tail := bitvec.TailMask(m)
+	pool.Label("sasimi.score", obs.PhaseEstimate)
 	err := pool.DoCtx(goCtx, len(shards), func(_, si int) {
 		sh := shards[si]
 		chg := make([]uint64, words)

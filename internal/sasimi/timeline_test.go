@@ -1,0 +1,172 @@
+package sasimi
+
+import (
+	"reflect"
+	"testing"
+
+	"batchals/internal/core"
+	"batchals/internal/flow"
+	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
+)
+
+// TestTimelineFlowParallelBitIdentical is the differential guarantee of
+// the span recorder: attaching a timeline must not change a single bit of
+// the flow's output at any worker count. The recorder only ever observes
+// from the dispatching goroutine, so this pins that contract.
+func TestTimelineFlowParallelBitIdentical(t *testing.T) {
+	base := Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.10,
+			NumPatterns: 2000,
+			Seed:        11,
+		},
+		KeepTrace:  true,
+		VerifyTopK: 3,
+	}
+	for _, workers := range workerSweep() {
+		plain := base
+		plain.Workers = workers
+		plain.Metrics = obs.NewRegistry()
+		want := fingerprint(runOn(t, "rca8", plain), plain.Metrics)
+
+		traced := base
+		traced.Workers = workers
+		traced.Metrics = obs.NewRegistry()
+		traced.Timeline = timeline.NewRecorder(workers+1, 0)
+		got := fingerprint(runOn(t, "rca8", traced), traced.Metrics)
+
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: recorder attached diverges from recorder nil:\n got  %+v\n want %+v",
+				workers, got, want)
+		}
+		if want.Iterations == 0 {
+			t.Fatal("flow accepted nothing; differential check is vacuous")
+		}
+		if traced.Timeline.SpanCount() == 0 {
+			t.Errorf("workers=%d: recorder attached but no spans recorded", workers)
+		}
+	}
+}
+
+// TestTimelineFlowSpanTaxonomy runs one traced flow and checks the span
+// names the profiler's analysis relies on actually appear, tagged with
+// the right phases, and that dispatch spans carry busy accounting.
+func TestTimelineFlowSpanTaxonomy(t *testing.T) {
+	rec := timeline.NewRecorder(5, 0)
+	res := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Workers:    4,
+		VerifyTopK: 3,
+		Timeline:   rec,
+	})
+	if res.NumIterations == 0 {
+		t.Fatal("flow made no progress; nothing to profile")
+	}
+
+	spans := rec.Snapshot()
+	byName := map[string][]timeline.Span{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for name, wantPhase := range map[string]obs.Phase{
+		"sim.simulate":       obs.PhaseSimulate,
+		"cpm.build":          obs.PhaseCPMBuild,
+		"sasimi.gather":      obs.PhaseEstimate,
+		"sasimi.score":       obs.PhaseEstimate,
+		"sasimi.verify_topk": obs.PhaseVerifyApply,
+		"sasimi.verify_cand": obs.PhaseVerifyApply,
+		"sasimi.apply":       obs.PhaseVerifyApply,
+		"iteration":          obs.PhaseEstimate,
+	} {
+		group := byName[name]
+		if len(group) == 0 {
+			t.Errorf("no %q spans recorded", name)
+			continue
+		}
+		for _, s := range group {
+			if s.Phase != wantPhase {
+				t.Errorf("%q span phase = %v, want %v", name, s.Phase, wantPhase)
+				break
+			}
+		}
+	}
+	// Dispatch spans (driver lane, task-counted) must carry busy time, and
+	// some worker span must exist to attribute it to.
+	var dispatches, workerSpans int
+	for _, s := range spans {
+		if s.Worker < 0 && s.Tasks > 0 {
+			dispatches++
+			if s.Busy <= 0 {
+				t.Errorf("dispatch span %q has no busy accounting", s.Name)
+			}
+		}
+		if s.Worker >= 0 {
+			workerSpans++
+		}
+	}
+	if dispatches == 0 {
+		t.Error("no dispatch spans recorded")
+	}
+	if workerSpans == 0 {
+		t.Error("no per-worker spans recorded")
+	}
+	// The flow must label spans with their iteration: iteration 1 spans
+	// exist once a substitution was accepted.
+	maxIter := int32(0)
+	for _, s := range spans {
+		if s.Iter > maxIter {
+			maxIter = s.Iter
+		}
+	}
+	if maxIter == 0 && res.NumIterations > 0 {
+		t.Error("no span carries a nonzero iteration label")
+	}
+}
+
+// TestFlowRuntimeAndSpeedupGauges pins the observability gauges the bench
+// observatory consumes: the pool's sasimi_parallel_speedup and the
+// runtime sampler's gauges all land in the flow's registry.
+func TestFlowRuntimeAndSpeedupGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := runOn(t, "rca8", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.10,
+			NumPatterns: 2000,
+			Seed:        11,
+		},
+		Workers: 2,
+		Metrics: reg,
+	})
+	if res.NumIterations == 0 {
+		t.Fatal("flow made no progress")
+	}
+	snap := reg.Snapshot()
+	speedup, ok := snap.Gauges["sasimi_parallel_speedup"]
+	if !ok {
+		t.Fatal("sasimi_parallel_speedup gauge missing")
+	}
+	if speedup <= 0 {
+		t.Errorf("sasimi_parallel_speedup = %f, want > 0", speedup)
+	}
+	for _, name := range []string{
+		"runtime_goroutines",
+		"runtime_gomaxprocs",
+		"runtime_sched_latency_p50_s",
+		"runtime_sched_latency_p99_s",
+		"runtime_gc_pause_p99_s",
+		"runtime_gc_cycles_total",
+		"runtime_heap_alloc_bytes_total",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("runtime gauge %q missing from the flow registry", name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
 )
 
 // RunState is the lifecycle phase of a named run.
@@ -58,7 +59,16 @@ type Run struct {
 	state   atomic.Int32
 	started time.Time
 	err     atomic.Pointer[string]
+	tl      atomic.Pointer[timeline.Recorder]
 }
+
+// SetTimeline publishes the run's span recorder so /timeline can export
+// it while the flow is live (the recorder's snapshot is safe to read
+// concurrently with writers). A nil rec detaches.
+func (r *Run) SetTimeline(rec *timeline.Recorder) { r.tl.Store(rec) }
+
+// Timeline returns the attached recorder, or nil.
+func (r *Run) Timeline() *timeline.Recorder { return r.tl.Load() }
 
 // Tracer returns the run's event sink: the stream tracer and flight
 // recorder fanned out as one Tracer.

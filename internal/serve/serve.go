@@ -55,6 +55,7 @@ func New(rr *RunRegistry) *Server {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/timeline", s.handleTimeline)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -139,6 +140,24 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = run.Flight.WriteJSON(w)
+}
+
+// handleTimeline exports a run's causal span timeline as Chrome
+// trace-event JSON (load the body in Perfetto / chrome://tracing). Safe
+// mid-run: the recorder snapshot covers every span published so far.
+// 404 when the run has no recorder attached.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRunParam(w, r)
+	if !ok {
+		return
+	}
+	rec := run.Timeline()
+	if rec == nil {
+		http.Error(w, "run "+run.Name+" has no timeline recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteTrace(w)
 }
 
 // lookupRunParam resolves the ?run= query parameter; with exactly one run

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"batchals/internal/obs"
+	"batchals/internal/obs/timeline"
+)
+
+func TestTimelineEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	run := s.Runs.Get("flow")
+
+	// No recorder attached yet: 404, not an empty document.
+	if code, body := get(t, ts.URL+"/timeline?run=flow"); code != http.StatusNotFound {
+		t.Fatalf("/timeline without recorder = %d %q, want 404", code, body)
+	}
+
+	rec := timeline.NewRecorder(2, 16)
+	rec.Emit(0, timeline.Span{
+		Name: "sasimi.verify_topk", Phase: obs.PhaseVerifyApply,
+		Worker: -1, Shard: -1, T0: 100, T1: 900,
+	})
+	run.SetTimeline(rec)
+
+	code, body := get(t, ts.URL+"/timeline?run=flow")
+	if code != http.StatusOK {
+		t.Fatalf("/timeline = %d %q", code, body)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/timeline body is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "sasimi.verify_topk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("span missing from exported trace: %s", body)
+	}
+
+	// With exactly one run the ?run parameter may be omitted.
+	if code, _ := get(t, ts.URL+"/timeline"); code != http.StatusOK {
+		t.Errorf("/timeline without run param = %d, want 200 with a single run", code)
+	}
+	// Unknown run: 404.
+	if code, _ := get(t, ts.URL+"/timeline?run=nope"); code != http.StatusNotFound {
+		t.Errorf("/timeline?run=nope = %d, want 404", code)
+	}
+}

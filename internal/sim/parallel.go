@@ -5,6 +5,7 @@ import (
 
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
+	"batchals/internal/obs"
 	"batchals/internal/par"
 )
 
@@ -45,6 +46,7 @@ func SimulateParallel(n *circuit.Network, p *Patterns, pool *par.Pool) *Values {
 		v.vecs[id] = bitvec.New(m)
 	}
 	shards := par.Shards(m, pool.Workers())
+	pool.Label("sim.simulate", obs.PhaseSimulate)
 	pool.Do(len(shards), func(_, si int) {
 		sh := shards[si]
 		buf := make([]uint64, 8)

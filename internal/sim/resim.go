@@ -3,6 +3,7 @@ package sim
 import (
 	"batchals/internal/bitvec"
 	"batchals/internal/circuit"
+	"batchals/internal/obs"
 	"batchals/internal/par"
 )
 
@@ -39,6 +40,7 @@ func ResimulateConeParallel(n *circuit.Network, v *Values, root circuit.NodeID, 
 			list = append(list, id)
 		}
 	}
+	pool.Label("sim.resim_cone", obs.PhaseSimulate)
 	resimSharded(n, v, list, pool, nil)
 	statConeResims.Inc()
 	statGateEvals.Add(int64(len(list)))
@@ -92,6 +94,7 @@ func ResimulateFrom(n *circuit.Network, v *Values, seeds []circuit.NodeID, pool 
 		return nil, nil
 	}
 	diff := make([]bool, len(list))
+	pool.Label("sim.resim_from", obs.PhaseSimulate)
 	resimSharded(n, v, list, pool, diff)
 	for i, id := range list {
 		if diff[i] {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package batchals
+
+// raceEnabled reports whether the race detector is compiled in; the
+// timeline overhead pin skips its timing half under -race, where the
+// detector's instrumentation dwarfs the recorder's cost.
+const raceEnabled = false

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke test for the causal timeline profiler: run a small sasimi flow
+# with -timeline, validate the exported file is well-formed Chrome
+# trace-event JSON (the format Perfetto and chrome://tracing load), and
+# check the end-of-run span summary includes the serial-fraction line the
+# EXPERIMENTS.md analysis is built on. CI runs this after the unit suites
+# and uploads the trace as an artifact; it is also a quick local check:
+# ./scripts/smoke_timeline.sh
+set -euo pipefail
+
+TRACE="${TRACE:-/tmp/smoke_timeline.json}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+go build -o /tmp/alsrun ./cmd/alsrun
+/tmp/alsrun -circuit c880 -threshold 0.03 -m 2048 -verify 2 \
+    -timeline "$TRACE" | tee "$LOG"
+
+grep -q "wrote $TRACE" "$LOG" || { echo "alsrun never wrote the trace"; exit 1; }
+grep -q "parallel fraction" "$LOG" || { echo "summary is missing the parallel-fraction line"; exit 1; }
+
+# Validate the trace-event JSON: top-level shape, complete events with
+# non-negative microsecond timestamps, thread_name metadata for the
+# driver lane and at least one worker lane, and dispatch causality
+# (worker events referencing a parent span).
+python3 - "$TRACE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["displayTimeUnit"] == "ns", doc.get("displayTimeUnit")
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+
+threads, complete, parented = {}, 0, 0
+for ev in events:
+    assert ev["ph"] in ("X", "M"), f"unexpected event phase {ev['ph']!r}"
+    assert ev["pid"] == 1
+    if ev["ph"] == "M":
+        assert ev["name"] == "thread_name"
+        threads[ev["tid"]] = ev["args"]["name"]
+    else:
+        complete += 1
+        assert ev["ts"] >= 0 and ev.get("dur", 0) >= 0, ev
+        assert "span_id" in ev["args"], ev
+        if "parent" in ev["args"]:
+            parented += 1
+
+assert "driver" in threads.values(), threads
+assert any(n.startswith("worker") for n in threads.values()), threads
+assert complete > 0, "no complete (X) events"
+assert parented > 0, "no span carries a parent (causality lost)"
+print(f"smoke_timeline: {complete} spans across {len(threads)} lanes, {parented} causally parented")
+EOF
+
+echo "smoke_timeline: OK"
