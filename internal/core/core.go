@@ -105,14 +105,10 @@ func Build(n *circuit.Network, vals *sim.Values) *CPM {
 	}
 	order := n.TopoOrder()
 
-	// Allocate propagation rows for live nodes.
-	for _, id := range order {
-		row := make([]*bitvec.Vec, numOut)
-		for o := 0; o < numOut; o++ {
-			row[o] = bitvec.New(m)
-		}
-		c.p[id] = row
-	}
+	// Allocate propagation rows for live nodes out of two slabs — one
+	// arena slab for the vectors, one flat slice for the per-node pointer
+	// rows — instead of a make per node and a make per (node, output).
+	allocRows(c, order)
 
 	// Base case: a node observed directly at an output propagates there.
 	for o, out := range n.Outputs() {
@@ -146,6 +142,25 @@ func Build(n *circuit.Network, vals *sim.Values) *CPM {
 	statCPMBuilds.Inc()
 	statCPMBuildNS.Add(int64(c.buildTime))
 	return c
+}
+
+// allocRows slab-allocates the propagation rows for every node in order:
+// one bitvec.Arena slab for the vectors and one flat pointer slice carved
+// per node, so a build performs O(1) heap allocations where it used to
+// perform one per node plus one per (node, output).
+func allocRows(c *CPM, order []circuit.NodeID) {
+	total := len(order) * c.o
+	if total == 0 {
+		return
+	}
+	arena := bitvec.NewArena(c.m, total)
+	flat := make([]*bitvec.Vec, total)
+	for i := range flat {
+		flat[i] = arena.New()
+	}
+	for i, id := range order {
+		c.p[id] = flat[i*c.o : (i+1)*c.o : (i+1)*c.o] //als:invalidate-ok constructor helper: the caller's CPM is freshly built, caches empty
+	}
 }
 
 // uniqueFanouts returns the distinct fanout nodes of id (a node may appear

@@ -48,13 +48,7 @@ func BuildParallel(n *circuit.Network, vals *sim.Values, pool *par.Pool) *CPM {
 		anyProp: make([]atomic.Pointer[bitvec.Vec], n.NumSlots()),
 	}
 	order := n.TopoOrder()
-	for _, id := range order {
-		row := make([]*bitvec.Vec, numOut)
-		for o := 0; o < numOut; o++ {
-			row[o] = bitvec.New(m)
-		}
-		c.p[id] = row
-	}
+	allocRows(c, order)
 	for o, out := range n.Outputs() {
 		c.p[out.Node][o].Fill()
 	}

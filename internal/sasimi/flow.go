@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
@@ -497,6 +495,7 @@ func RunContext(goCtx context.Context, golden *circuit.Network, cfg Config) (*Re
 	estAccum := 0.0
 	scratch := bitvec.New(patterns.NumPatterns())
 	change := bitvec.New(patterns.NumPatterns())
+	var vscratch verifyScratch
 
 	// The incremental engine carries net+vals+error-state+CPM across
 	// iterations; the gather cache carries candidate enumeration state.
@@ -601,8 +600,14 @@ loop:
 		sp = prof.Begin(obs.PhaseVerifyApply)
 		if cfg.VerifyTopK > 0 && cfg.Estimator != EstimatorFull && len(feasible) > 0 {
 			tlv := cfg.Timeline.Start("sasimi.verify_topk", obs.PhaseVerifyApply)
-			best = verifyTopK(approx, vals, st, cfg, cands, feasible, curErr, scratch, change, o, iter)
+			var verr error
+			best, verr = verifyTopK(goCtx, approx, vals, st, &cfg, cands, feasible, curErr, scratch, &vscratch, pool, o, iter)
 			cfg.Timeline.End(tlv)
+			if verr != nil {
+				prof.End(sp)
+				runErr = verr
+				break loop
+			}
 		}
 		res.EstimateTime += time.Since(estStart)
 		if best == -1 {
@@ -794,56 +799,6 @@ func scoreCandidates(est estimator, cands []Candidate, vals *sim.Values,
 		}
 	}
 	return best, feasible
-}
-
-// verifyTopK re-evaluates the K best-scoring feasible candidates with
-// exact cone resimulation and returns the index of the best exactly-scored
-// feasible candidate, or -1 if none survives. The verified candidates'
-// Delta and Score fields are overwritten with exact values; each
-// batch-vs-exact pair is recorded as verification drift, split by the
-// batch estimate's exactness certificate.
-func verifyTopK(net *circuit.Network, vals *sim.Values, st *emetric.State,
-	cfg Config, cands []Candidate, feasible []int, curErr float64,
-	scratch, change *bitvec.Vec, o *runObs, iter int) int {
-
-	k := cfg.VerifyTopK
-	if k > len(feasible) {
-		k = len(feasible)
-	}
-	// Partial selection of the top-k by score.
-	sort.Slice(feasible, func(a, b int) bool {
-		return cands[feasible[a]].Score > cands[feasible[b]].Score
-	})
-	best := -1
-	for _, idx := range feasible[:k] {
-		c := &cands[idx]
-		sub := c.substituteValue(vals, scratch)
-		batchDelta, wasExact := c.Delta, c.Exact
-		if tl := cfg.Timeline; tl != nil {
-			// Per-candidate span + pprof label set: CPU profile samples of
-			// the exact recheck attribute to the candidate being verified.
-			tlc := tl.Start("sasimi.verify_cand", obs.PhaseVerifyApply)
-			pprof.Do(context.Background(), pprof.Labels(
-				"als_dispatch", "sasimi.verify_cand",
-				"als_candidate", net.NameOf(c.Target),
-			), func(context.Context) {
-				c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
-			})
-			tl.End(tlc)
-		} else {
-			c.Delta = core.ExactDelta(net, vals, c.Target, sub, st, cfg.Metric)
-		}
-		c.Exact = true
-		c.Score = score(c.AreaGain, c.Delta, vals.M)
-		o.verified(iter, c, batchDelta, c.Delta, wasExact)
-		if curErr+c.Delta > cfg.Threshold+1e-12 {
-			continue
-		}
-		if best == -1 || c.Score > cands[best].Score {
-			best = idx
-		}
-	}
-	return best
 }
 
 // score ranks candidates: area gain per unit of increased error. ATs whose

@@ -55,20 +55,50 @@ type gatherCache struct {
 	// (callers get a copy, so scoring's in-place Delta/Score writes never
 	// leak back into the cache).
 	sorted []Candidate
+
+	// Dispatch scratch: the LPT bin-packer and its inputs (work items as
+	// target indices plus their estimated resim costs), and one reusable
+	// Xor-scratch vector per pool worker — computeTarget and evalPair use
+	// diff purely as scratch, so a worker-owned vector replaces the
+	// per-target bitvec.New of the unplanned fan-out.
+	planner par.Planner
+	items   []int
+	costs   []float64
+	diffs   []*bitvec.Vec
+}
+
+// workerDiffs returns one m-bit scratch vector per pool worker, growing
+// the pool-owned set on first use (m is fixed for the life of a flow).
+func (gc *gatherCache) workerDiffs(workers, m int) []*bitvec.Vec {
+	for len(gc.diffs) < workers {
+		gc.diffs = append(gc.diffs, bitvec.New(m))
+	}
+	return gc.diffs
 }
 
 // full performs the initial complete gather, populating every target's
-// cached bucket and dependency set. Buckets land in per-target slots owned
-// by the task index, so the fan-out is deterministic at any worker count.
-// A cancelled context aborts the fan-out and returns the context's error;
-// the cache is then partially populated and must be discarded.
+// cached bucket and dependency set. Targets are bin-packed (uniform cost —
+// nothing is known about the cones yet) and each bin's buckets land in
+// per-target slots owned by the target index, so the fan-out is
+// deterministic at any worker count and bin shape. A cancelled context
+// aborts the fan-out and returns the context's error; the cache is then
+// partially populated and must be discarded.
 func (gc *gatherCache) full(goCtx context.Context, env *gatherEnv, pool *par.Pool) ([]Candidate, error) {
 	gc.data = make([]targetData, env.net.NumSlots())
 	targets := liveGateTargets(env.net)
+	gc.costs = gc.costs[:0]
+	for range targets {
+		gc.costs = append(gc.costs, 1)
+	}
+	bins := gc.planner.Plan(gc.costs, par.PlanBins(len(targets), pool.Workers()))
+	diffs := gc.workerDiffs(pool.Workers(), env.m)
 	pool.Label("sasimi.gather", obs.PhaseEstimate)
-	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
-		t := targets[ti]
-		gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
+	if err := pool.DoCtx(goCtx, len(bins), func(w, bi int) {
+		diff := diffs[w]
+		for _, ti := range bins[bi] {
+			t := targets[ti]
+			gc.data[t] = env.computeTarget(t, diff, true)
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -189,36 +219,61 @@ func (gc *gatherCache) update(goCtx context.Context, env *gatherEnv, ed *core.Ed
 		tfis[i] = n.TransitiveFaninCone(s)
 	}
 
+	// Classify targets driver-side so the bin-packer can see each one's
+	// estimated resim cost: a dirty target re-enumerates every substitute
+	// (≈|subs| pair evaluations plus the MFFC walk), a clean one touches
+	// only the dirty substitutes. The old per-target fan-out fed both
+	// through identical tasks, and the few dirty cones straggled behind a
+	// long tail of near-free clean tasks — the measured 12% worker idle.
+	// LPT bins bound the load spread by one item's cost, and Overcommit
+	// bins per worker leave queued bins for any worker that finishes early
+	// to steal.
 	targets := liveGateTargets(n)
 	dirtyT := make([]bool, slots)
 	freshBy := make([][]Candidate, len(targets))
-	pool.Label("sasimi.gather_inc", obs.PhaseEstimate)
-	err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
-		t := targets[ti]
+	gc.items = gc.items[:0]
+	gc.costs = gc.costs[:0]
+	dirtyCost := float64(len(env.subs)) + 8
+	cleanCost := float64(len(dirtySubs)) + 1
+	for ti, t := range targets {
 		td := &gc.data[t]
 		if !td.live || changedVal[t] || arrivalChanged[t] || depsTouched(td.deps, probe) {
 			dirtyT[t] = true
-			gc.data[t] = env.computeTarget(t, bitvec.New(env.m), true)
-			return
+			gc.items = append(gc.items, ti)
+			gc.costs = append(gc.costs, dirtyCost)
+		} else if td.baseGain > 0 {
+			// Always enqueued, even with no dirty substitutes: drop marks
+			// removed substitutes whose pairs must leave the bucket.
+			gc.items = append(gc.items, ti)
+			gc.costs = append(gc.costs, cleanCost)
 		}
-		if td.baseGain <= 0 {
-			return // no bucket, and the gain figures are provably unchanged
-		}
-		tv := env.vals.Node(t)
-		tArr := env.arrival[t]
-		var fresh []Candidate
-		var diff *bitvec.Vec
-		for i, s := range dirtySubs {
-			if s == t || tfis[i][t] {
+		// Clean targets without a bucket: no work, provably unchanged.
+	}
+	bins := gc.planner.Plan(gc.costs, par.PlanBins(len(gc.items), pool.Workers()))
+	diffs := gc.workerDiffs(pool.Workers(), env.m)
+	pool.Label("sasimi.gather_inc", obs.PhaseEstimate)
+	err := pool.DoCtx(goCtx, len(bins), func(w, bi int) {
+		diff := diffs[w]
+		for _, ii := range bins[bi] {
+			ti := gc.items[ii]
+			t := targets[ti]
+			if dirtyT[t] {
+				gc.data[t] = env.computeTarget(t, diff, true)
 				continue
 			}
-			if diff == nil {
-				diff = bitvec.New(env.m)
+			td := &gc.data[t]
+			tv := env.vals.Node(t)
+			tArr := env.arrival[t]
+			var fresh []Candidate
+			for i, s := range dirtySubs {
+				if s == t || tfis[i][t] {
+					continue
+				}
+				fresh = env.evalPair(fresh, td, t, s, tv, tArr, diff)
 			}
-			fresh = env.evalPair(fresh, td, t, s, tv, tArr, diff)
+			freshBy[ti] = fresh
+			td.bucket = mergeBucket(td.bucket, fresh, drop)
 		}
-		freshBy[ti] = fresh
-		td.bucket = mergeBucket(td.bucket, fresh, drop)
 	})
 	if err != nil {
 		return nil, err

@@ -33,10 +33,24 @@ func gatherCandidatesParallel(goCtx context.Context, net *circuit.Network, vals 
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
+	// Bin-pack targets (uniform cost) so each worker reuses one scratch
+	// vector across its whole bin instead of allocating one per target.
+	var planner par.Planner
+	costs := make([]float64, len(targets))
+	for i := range costs {
+		costs[i] = 1
+	}
+	bins := planner.Plan(costs, par.PlanBins(len(targets), pool.Workers()))
+	diffs := make([]*bitvec.Vec, pool.Workers())
+	for i := range diffs {
+		diffs[i] = bitvec.New(env.m)
+	}
 	pool.Label("sasimi.gather", obs.PhaseEstimate)
-	if err := pool.DoCtx(goCtx, len(targets), func(_, ti int) {
-		td := env.computeTarget(targets[ti], bitvec.New(env.m), false)
-		buckets[ti] = td.bucket
+	if err := pool.DoCtx(goCtx, len(bins), func(w, bi int) {
+		for _, ti := range bins[bi] {
+			td := env.computeTarget(targets[ti], diffs[w], false)
+			buckets[ti] = td.bucket
+		}
 	}); err != nil {
 		return nil // cancelled mid-gather; the caller abandons the iteration
 	}

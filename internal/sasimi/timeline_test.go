@@ -81,7 +81,6 @@ func TestTimelineFlowSpanTaxonomy(t *testing.T) {
 		"sasimi.gather":      obs.PhaseEstimate,
 		"sasimi.score":       obs.PhaseEstimate,
 		"sasimi.verify_topk": obs.PhaseVerifyApply,
-		"sasimi.verify_cand": obs.PhaseVerifyApply,
 		"sasimi.apply":       obs.PhaseVerifyApply,
 		"iteration":          obs.PhaseEstimate,
 	} {
@@ -97,6 +96,31 @@ func TestTimelineFlowSpanTaxonomy(t *testing.T) {
 			}
 		}
 	}
+	// The verify step is parallel at Workers=4: its dispatches must fan
+	// out as per-worker child spans (Worker >= 0, causally parented on a
+	// dispatch) instead of the serial path's per-candidate verify_cand
+	// spans.
+	var verifyWorkerSpans, verifyDispatches int
+	for _, s := range byName["sasimi.verify_topk"] {
+		if s.Worker >= 0 {
+			verifyWorkerSpans++
+			if s.Parent == 0 {
+				t.Error("per-worker verify_topk span has no parent dispatch")
+			}
+		} else if s.Tasks > 0 {
+			verifyDispatches++
+		}
+	}
+	if verifyDispatches == 0 {
+		t.Error("no verify_topk dispatch spans recorded at workers=4")
+	}
+	if verifyWorkerSpans == 0 {
+		t.Error("no per-worker verify_topk child spans recorded at workers=4")
+	}
+	if len(byName["sasimi.verify_cand"]) != 0 {
+		t.Error("serial per-candidate verify_cand spans recorded on the parallel path")
+	}
+
 	// Dispatch spans (driver lane, task-counted) must carry busy time, and
 	// some worker span must exist to attribute it to.
 	var dispatches, workerSpans int
@@ -127,6 +151,40 @@ func TestTimelineFlowSpanTaxonomy(t *testing.T) {
 	}
 	if maxIter == 0 && res.NumIterations > 0 {
 		t.Error("no span carries a nonzero iteration label")
+	}
+}
+
+// TestTimelineSerialVerifyCandSpans pins the single-worker taxonomy: with
+// no pool parallelism the verifier takes the ExactDelta path and still
+// emits the per-candidate "sasimi.verify_cand" spans the CPU-profile
+// labelling relies on.
+func TestTimelineSerialVerifyCandSpans(t *testing.T) {
+	rec := timeline.NewRecorder(2, 0)
+	res := runOn(t, "mul4", Config{
+		Budget: flow.Budget{
+			Metric:      core.MetricER,
+			Threshold:   0.05,
+			NumPatterns: 2000,
+			Seed:        7,
+		},
+		Workers:    1,
+		VerifyTopK: 3,
+		Timeline:   rec,
+	})
+	if res.NumIterations == 0 {
+		t.Fatal("flow made no progress; nothing to profile")
+	}
+	var cands int
+	for _, s := range rec.Snapshot() {
+		if s.Name == "sasimi.verify_cand" {
+			cands++
+			if s.Phase != obs.PhaseVerifyApply {
+				t.Errorf("verify_cand span phase = %v, want %v", s.Phase, obs.PhaseVerifyApply)
+			}
+		}
+	}
+	if cands == 0 {
+		t.Error("no per-candidate verify_cand spans at workers=1")
 	}
 }
 

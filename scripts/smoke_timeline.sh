@@ -13,7 +13,7 @@ LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
 
 go build -o /tmp/alsrun ./cmd/alsrun
-/tmp/alsrun -circuit c880 -threshold 0.03 -m 2048 -verify 2 \
+/tmp/alsrun -circuit c880 -threshold 0.03 -m 2048 -verify 2 -workers 4 \
     -timeline "$TRACE" | tee "$LOG"
 
 grep -q "wrote $TRACE" "$LOG" || { echo "alsrun never wrote the trace"; exit 1; }
@@ -21,8 +21,10 @@ grep -q "parallel fraction" "$LOG" || { echo "summary is missing the parallel-fr
 
 # Validate the trace-event JSON: top-level shape, complete events with
 # non-negative microsecond timestamps, thread_name metadata for the
-# driver lane and at least one worker lane, and dispatch causality
-# (worker events referencing a parent span).
+# driver lane and at least one worker lane, dispatch causality (worker
+# events referencing a parent span), and — at -workers 4 — the verify
+# step actually fanned out: sasimi.verify_topk must appear on worker
+# lanes as causally-parented child spans, not only as a driver span.
 python3 - "$TRACE" <<'EOF'
 import json, sys
 
@@ -34,6 +36,7 @@ events = doc["traceEvents"]
 assert events, "empty traceEvents"
 
 threads, complete, parented = {}, 0, 0
+spans = []
 for ev in events:
     assert ev["ph"] in ("X", "M"), f"unexpected event phase {ev['ph']!r}"
     assert ev["pid"] == 1
@@ -46,12 +49,22 @@ for ev in events:
         assert "span_id" in ev["args"], ev
         if "parent" in ev["args"]:
             parented += 1
+        spans.append(ev)
 
 assert "driver" in threads.values(), threads
 assert any(n.startswith("worker") for n in threads.values()), threads
 assert complete > 0, "no complete (X) events"
 assert parented > 0, "no span carries a parent (causality lost)"
-print(f"smoke_timeline: {complete} spans across {len(threads)} lanes, {parented} causally parented")
+
+verify_children = [
+    ev for ev in spans
+    if ev["name"] == "sasimi.verify_topk"
+    and threads.get(ev["tid"], "").startswith("worker")
+    and "parent" in ev["args"]
+]
+assert verify_children, "verify_topk never fanned out to worker lanes"
+print(f"smoke_timeline: {complete} spans across {len(threads)} lanes, "
+      f"{parented} causally parented, {len(verify_children)} parallel verify spans")
 EOF
 
 echo "smoke_timeline: OK"
