@@ -1,29 +1,33 @@
-// Command alsd is the ALS observability daemon: it executes a queue of
+// Command alsd is the ALS service daemon: it executes a bounded queue of
 // synthesis jobs while serving live telemetry over HTTP — Prometheus
-// /metrics (every run labelled run="name"), /metrics.json, per-run SSE
-// event streams at /events, flight-recorder dumps at /flight, health and
-// readiness probes, and the net/http/pprof surface.
+// /metrics (every run labelled run="name", plus service-level latency
+// histograms and queue gauges), /metrics.json, per-job lifecycle traces
+// at /jobs/{name}, per-run SSE event streams at /events, flight-recorder
+// dumps at /flight, live timelines at /timeline, health and readiness
+// probes, and the net/http/pprof surface. Requests are access-logged as
+// JSONL when -access-log is set.
 //
 // Usage:
 //
 //	alsd -addr :8415
-//	alsd -addr 127.0.0.1:0 -repeat 3 -demo mul4
+//	alsd -addr 127.0.0.1:0 -repeat 3 -demo mul4 -queue-max 16 -access-log /tmp/alsd.log
 //
 // The daemon prints "alsd: listening on ADDR" once the listener is bound
 // (ADDR carries the real port when :0 requested an ephemeral one — the CI
-// smoke test parses it). Jobs are submitted as JSON:
+// smoke tests parse it). Jobs are submitted as JSON:
 //
 //	curl -X POST localhost:8415/jobs -d '{"circuit":"c880","threshold":0.01}'
 //
 // and run sequentially; each job gets its own metrics registry, stream
-// tracer and flight recorder, registered under its run name. -repeat N
-// enqueues N demo jobs at startup so a fresh daemon has live event
-// traffic immediately.
+// tracer, flight recorder and lifecycle trace, registered under its run
+// name before the 202 returns. Invalid specs are rejected at enqueue time
+// with a typed 400 body; a full queue sheds with 429 + Retry-After. On
+// SIGTERM the daemon drains: the running job finishes, queued jobs are
+// marked canceled, and access logs are flushed.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -31,8 +35,6 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,40 +42,39 @@ import (
 	"batchals/internal/serve"
 )
 
-// jobSpec is the wire format of one queued synthesis job.
-type jobSpec struct {
-	Name          string  `json:"name,omitempty"` // run name (default job-N)
-	Circuit       string  `json:"circuit"`        // benchmark name or file path
-	Metric        string  `json:"metric,omitempty"`
-	Threshold     float64 `json:"threshold"`
-	Estimator     string  `json:"estimator,omitempty"`
-	Patterns      int     `json:"m,omitempty"`
-	Seed          int64   `json:"seed,omitempty"`
-	Workers       int     `json:"workers,omitempty"`
-	VerifyTopK    int     `json:"verify,omitempty"`
-	MaxIterations int     `json:"max_iters,omitempty"`
-}
-
 func main() {
 	var (
-		addr      = flag.String("addr", ":8415", "listen address (host:port; :0 picks an ephemeral port)")
-		repeat    = flag.Int("repeat", 0, "enqueue this many demo jobs at startup")
-		demo      = flag.String("demo", "mul4", "demo job circuit for -repeat")
-		demoThr   = flag.Float64("demo-threshold", 0.05, "demo job error threshold")
-		demoM     = flag.Int("demo-m", 2000, "demo job Monte Carlo pattern count")
-		queueSize = flag.Int("queue", 64, "job queue capacity")
+		addr        = flag.String("addr", ":8415", "listen address (host:port; :0 picks an ephemeral port)")
+		repeat      = flag.Int("repeat", 0, "enqueue this many demo jobs at startup")
+		demo        = flag.String("demo", "mul4", "demo job circuit for -repeat")
+		demoThr     = flag.Float64("demo-threshold", 0.05, "demo job error threshold")
+		demoM       = flag.Int("demo-m", 2000, "demo job Monte Carlo pattern count")
+		queueMax    = flag.Int("queue-max", 64, "job queue bound; submissions beyond it are shed with 429")
+		runsMax     = flag.Int("runs-max", 512, "retain at most this many finished runs (oldest evicted)")
+		accessLog   = flag.String("access-log", "", "write JSONL access logs to this file (\"-\" for stdout)")
+		drainWindow = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the running job before canceling it")
 	)
 	flag.Parse()
 
-	rr := serve.NewRunRegistry()
-	srv := serve.New(rr)
-	jobs := make(chan jobSpec, *queueSize)
-	var jobSeq atomic.Int64
+	var logger *serve.AccessLogger
+	switch *accessLog {
+	case "":
+	case "-":
+		logger = serve.NewAccessLogger(os.Stdout)
+	default:
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		logger = serve.NewAccessLogger(f)
+	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
-	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
-		handleJobs(w, r, rr, jobs, &jobSeq)
+	d := serve.NewDaemon(serve.DaemonConfig{
+		QueueMax:  *queueMax,
+		RunsMax:   *runsMax,
+		AccessLog: logger,
+		Runner:    runJob,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -81,99 +82,45 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("alsd: listening on %s\n", ln.Addr())
-	httpSrv := &http.Server{Handler: mux}
+	httpSrv := &http.Server{Handler: d.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
 
+	d.Start()
 	for i := 0; i < *repeat; i++ {
-		spec := jobSpec{
+		spec := serve.JobSpec{
 			Name:      fmt.Sprintf("demo-%d", i+1),
 			Circuit:   *demo,
 			Threshold: *demoThr,
 			Patterns:  *demoM,
 			Seed:      int64(i),
+			Timeline:  true, // demo jobs carry the service-lane timeline
 		}
-		rr.Get(spec.Name)
-		jobs <- spec
+		if _, err := d.Enqueue(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "alsd: demo job %d: %v\n", i+1, err)
+		}
 	}
-	srv.SetReady(true)
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for spec := range jobs {
-			runJob(rr, spec)
-		}
-	}()
+	d.Server().SetReady(true)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("alsd: shutting down")
-	srv.SetReady(false)
-	close(jobs)
-	wg.Wait()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
 	defer cancel()
-	_ = httpSrv.Shutdown(shutdownCtx)
+	if err := d.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "alsd: drain: %v\n", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	_ = httpSrv.Shutdown(httpCtx)
 }
 
-// handleJobs enqueues a POSTed jobSpec without ever blocking the request:
-// a full queue is 503, malformed JSON or an empty circuit is 400. The run
-// is registered (state pending) before the 202 goes out, so a client can
-// subscribe to /events?run=NAME immediately and see the flow's events
-// from the first one — even when the job sits in the queue for a while.
-func handleJobs(w http.ResponseWriter, r *http.Request, rr *serve.RunRegistry, jobs chan jobSpec, seq *atomic.Int64) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var spec jobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if spec.Circuit == "" {
-		http.Error(w, "job spec needs a circuit", http.StatusBadRequest)
-		return
-	}
-	if spec.Name == "" {
-		spec.Name = fmt.Sprintf("job-%d", seq.Add(1))
-	}
-	select {
-	case jobs <- spec:
-		rr.Get(spec.Name)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusAccepted)
-		_ = json.NewEncoder(w).Encode(map[string]string{"run": spec.Name})
-	default:
-		http.Error(w, "job queue full", http.StatusServiceUnavailable)
-	}
-}
-
-// runJob executes one job against its own run sinks; a panicking flow
-// dumps the flight recorder to stderr before crashing the daemon.
-func runJob(rr *serve.RunRegistry, spec jobSpec) {
-	run := rr.Get(spec.Name)
-	defer run.Flight.DumpOnPanic(os.Stderr)
-	run.SetState(serve.RunActive, "")
-	start := time.Now()
-	res, err := execute(spec, run)
-	if err != nil {
-		run.SetState(serve.RunFailed, err.Error())
-		fmt.Fprintf(os.Stderr, "alsd: run %s failed: %v\n", spec.Name, err)
-		return
-	}
-	run.SetState(serve.RunDone, "")
-	fmt.Printf("alsd: run %s done in %s: area %.0f -> %.0f (ratio %.3f), %d substitutions, error %.5f\n",
-		spec.Name, time.Since(start).Round(time.Millisecond),
-		res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
-}
-
-func execute(spec jobSpec, run *serve.Run) (*batchals.Result, error) {
+// runJob executes one admitted job against its run sinks and prints the
+// result line the smoke scripts wait for.
+func runJob(ctx context.Context, spec serve.JobSpec, run *serve.Run) error {
 	golden, err := loadCircuit(spec.Circuit)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opts := batchals.Options{
 		Threshold:     spec.Threshold,
@@ -184,6 +131,7 @@ func execute(spec jobSpec, run *serve.Run) (*batchals.Result, error) {
 		MaxIterations: spec.MaxIterations,
 		Metrics:       run.Registry,
 		Tracer:        run.Tracer(),
+		Timeline:      run.Timeline(),
 	}
 	switch strings.ToLower(spec.Metric) {
 	case "", "er":
@@ -191,7 +139,7 @@ func execute(spec jobSpec, run *serve.Run) (*batchals.Result, error) {
 	case "aem":
 		opts.Metric = batchals.AvgErrorMagnitude
 	default:
-		return nil, fmt.Errorf("unknown metric %q", spec.Metric)
+		return fmt.Errorf("unknown metric %q", spec.Metric)
 	}
 	switch strings.ToLower(spec.Estimator) {
 	case "", "batch":
@@ -201,9 +149,18 @@ func execute(spec jobSpec, run *serve.Run) (*batchals.Result, error) {
 	case "local":
 		opts.Estimator = batchals.Local
 	default:
-		return nil, fmt.Errorf("unknown estimator %q", spec.Estimator)
+		return fmt.Errorf("unknown estimator %q", spec.Estimator)
 	}
-	return batchals.Approximate(golden, opts)
+	start := time.Now()
+	res, err := batchals.ApproximateContext(ctx, golden, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alsd: run %s failed: %v\n", spec.Name, err)
+		return err
+	}
+	fmt.Printf("alsd: run %s done in %s: area %.0f -> %.0f (ratio %.3f), %d substitutions, error %.5f\n",
+		spec.Name, time.Since(start).Round(time.Millisecond),
+		res.OriginalArea, res.FinalArea, res.AreaRatio(), res.NumIterations, res.FinalError)
+	return nil
 }
 
 func loadCircuit(spec string) (*batchals.Network, error) {

@@ -1,0 +1,320 @@
+// Command alsload is the closed-loop load generator of the alsd service
+// observatory: N concurrent submitters each POST a synthesis job to a
+// live alsd, poll its /jobs/{name} lifecycle trace until the job is
+// terminal, and immediately submit the next one. Shed responses (429)
+// are counted and retried after a capped backoff, so a queue bound
+// smaller than the submitter count keeps the daemon saturated and the
+// shed path exercised.
+//
+// Usage:
+//
+//	alsload -addr 127.0.0.1:8415 -n 8 -duration 30s -circuit mul4 -m 512 -o BENCH_pr9.json
+//
+// When the burst ends, alsload prints client-observed end-to-end latency
+// percentiles, the server-reported queue-wait and run-wall percentiles
+// (from the lifecycle traces), and throughput — and with -o writes them
+// as a benchmeta baseline artifact (BENCH_pr9.json schema) that
+// cmd/benchdiff can gate against.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"batchals/internal/benchmeta"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "alsd address (host:port), required")
+		n          = flag.Int("n", 8, "concurrent closed-loop submitters")
+		duration   = flag.Duration("duration", 30*time.Second, "how long to keep submitting")
+		circuit    = flag.String("circuit", "mul4", "job circuit")
+		threshold  = flag.Float64("threshold", 0.05, "job error threshold")
+		patterns   = flag.Int("m", 512, "job Monte Carlo pattern count")
+		workers    = flag.Int("workers", 0, "job worker count (0 = flow default)")
+		prefix     = flag.String("prefix", "load", "job name prefix")
+		poll       = flag.Duration("poll", 20*time.Millisecond, "lifecycle-trace poll interval")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "give up polling a job after this long")
+		out        = flag.String("o", "", "write the benchmeta baseline artifact here")
+		commit     = flag.String("commit", "", "commit hash recorded in the artifact env")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "alsload: -addr is required")
+		os.Exit(2)
+	}
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu        sync.Mutex
+		e2e       []float64 // client-observed submit→terminal, ns
+		queueWait []float64 // server-reported queued→admitted, ns
+		runWall   []float64 // server-reported running→terminal, ns
+		completed int
+		failed    int
+		shed      int
+		errs      int
+	)
+	record := func(clientNS float64, trace *traceDoc, state string) {
+		mu.Lock()
+		defer mu.Unlock()
+		e2e = append(e2e, clientNS)
+		if trace != nil {
+			if trace.QueueWaitNS > 0 {
+				queueWait = append(queueWait, float64(trace.QueueWaitNS))
+			}
+			if trace.RunNS > 0 {
+				runWall = append(runWall, float64(trace.RunNS))
+			}
+		}
+		if state == "done" {
+			completed++
+		} else {
+			failed++
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for g := 0; g < *n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; time.Now().Before(deadline); k++ {
+				name := fmt.Sprintf("%s-%d-%d", *prefix, g, k)
+				spec := map[string]any{
+					"name":      name,
+					"circuit":   *circuit,
+					"threshold": *threshold,
+					"m":         *patterns,
+					"workers":   *workers,
+					"seed":      int64(g*1_000_003 + k),
+				}
+				submitted := time.Now()
+				status, retryAfter, err := submit(client, base, spec)
+				switch {
+				case err != nil:
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					time.Sleep(200 * time.Millisecond)
+					continue
+				case status == http.StatusTooManyRequests:
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					// Honor Retry-After, capped so the closed loop keeps the
+					// queue under pressure for the whole burst.
+					if retryAfter > 500*time.Millisecond {
+						retryAfter = 500 * time.Millisecond
+					}
+					if retryAfter <= 0 {
+						retryAfter = 100 * time.Millisecond
+					}
+					time.Sleep(retryAfter)
+					continue
+				case status != http.StatusAccepted:
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					time.Sleep(200 * time.Millisecond)
+					continue
+				}
+				trace, state := awaitTerminal(client, base, name, *poll, *jobTimeout)
+				if state == "" {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				record(float64(time.Since(submitted).Nanoseconds()), trace, state)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	total := completed + failed
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "alsload: no job completed (%d shed, %d errors)\n", shed, errs)
+		os.Exit(1)
+	}
+	throughput := float64(completed) / elapsed.Seconds()
+	fmt.Printf("alsload: %d done, %d failed, %d shed, %d errors in %s (%.1f jobs/s)\n",
+		completed, failed, shed, errs, elapsed.Round(time.Millisecond), throughput)
+	printDist("e2e (client)", e2e)
+	printDist("queue wait  ", queueWait)
+	printDist("run wall    ", runWall)
+
+	if *out == "" {
+		return
+	}
+	baseline := &benchmeta.Baseline{
+		SchemaVersion: benchmeta.SchemaVersion,
+		GeneratedWith: fmt.Sprintf("alsload -n %d -duration %s -circuit %s -m %d -threshold %g",
+			*n, *duration, *circuit, *patterns, *threshold),
+		Env: benchmeta.CaptureEnv(*commit),
+		Benchmarks: []benchmeta.Bench{
+			distBench("Load/e2e", e2e),
+			distBench("Load/queue_wait", queueWait),
+			distBench("Load/run_wall", runWall),
+			{
+				Name:       "Load/throughput",
+				Iterations: int64(completed),
+				Metrics: map[string]float64{
+					"jobs_per_sec": throughput,
+					"shed_total":   float64(shed),
+					"failed_total": float64(failed),
+				},
+			},
+		},
+	}
+	raw, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alsload:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "alsload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("alsload: wrote %s\n", *out)
+}
+
+// submit POSTs one job spec; it returns the HTTP status and any
+// Retry-After hint.
+func submit(client *http.Client, base string, spec map[string]any) (int, time.Duration, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	var retry time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			retry = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retry, nil
+}
+
+// traceDoc is the subset of the /jobs/{name} document alsload consumes.
+type traceDoc struct {
+	State       string `json:"state"`
+	QueueWaitNS int64  `json:"queue_wait_ns"`
+	RunNS       int64  `json:"run_ns"`
+	E2ENS       int64  `json:"e2e_ns"`
+}
+
+// terminalStates mirrors the lifecycle trace's terminal set.
+var terminalStates = map[string]bool{
+	"done": true, "failed": true, "shed": true, "canceled": true,
+}
+
+// awaitTerminal polls the job's lifecycle trace until it reaches a
+// terminal state, returning the final trace. An empty state means the
+// poll errored out or timed out.
+func awaitTerminal(client *http.Client, base, name string, poll, timeout time.Duration) (*traceDoc, string) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/jobs/" + name)
+		if err != nil {
+			return nil, ""
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, ""
+		}
+		var doc traceDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, ""
+		}
+		if terminalStates[doc.State] {
+			return &doc, doc.State
+		}
+		time.Sleep(poll)
+	}
+	return nil, ""
+}
+
+// percentile returns the nearest-rank q-quantile of a sample set.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// distBench folds a latency sample set into one artifact benchmark:
+// ns/op carries the median (robust against a single cold-start outlier),
+// with the tail percentiles and mean as extra metrics.
+func distBench(name string, samples []float64) benchmeta.Bench {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := 0.0
+	if len(sorted) > 0 {
+		mean = sum / float64(len(sorted))
+	}
+	iters := int64(len(sorted))
+	if iters == 0 {
+		iters = 1
+	}
+	return benchmeta.Bench{
+		Name:       name,
+		Iterations: iters,
+		Metrics: map[string]float64{
+			"ns/op":   percentile(sorted, 0.50),
+			"mean_ns": mean,
+			"p50_ns":  percentile(sorted, 0.50),
+			"p95_ns":  percentile(sorted, 0.95),
+			"p99_ns":  percentile(sorted, 0.99),
+			"max_ns":  percentile(sorted, 1.0),
+		},
+	}
+}
+
+// printDist prints one latency line of the end-of-burst summary.
+func printDist(label string, samples []float64) {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	fmt.Printf("alsload: %s p50 %s  p95 %s  p99 %s  (n=%d)\n", label,
+		fmtNS(percentile(sorted, 0.50)), fmtNS(percentile(sorted, 0.95)),
+		fmtNS(percentile(sorted, 0.99)), len(sorted))
+}
+
+func fmtNS(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "math"
+
+// Log-spaced histogram buckets and quantile estimation for the service
+// observability layer. The flow-side histograms (drift, dirty fraction)
+// use hand-picked linear bounds; latency distributions span five-plus
+// orders of magnitude, so the service layer uses HDR-style log-spaced
+// bounds instead: a fixed allocation of buckets whose width grows
+// geometrically, giving a bounded *relative* quantile error everywhere in
+// the range instead of a bounded absolute one near a single scale.
+
+// ExpBuckets returns decades*perDecade+1 strictly ascending upper bounds
+// starting at lo and growing by a factor of 10^(1/perDecade) per bucket,
+// spanning the given number of decades. Suitable for Registry.Histogram.
+func ExpBuckets(lo float64, decades, perDecade int) []float64 {
+	if lo <= 0 || decades <= 0 || perDecade <= 0 {
+		panic("obs: ExpBuckets needs positive lo, decades and perDecade")
+	}
+	bounds := make([]float64, decades*perDecade+1)
+	for i := range bounds {
+		bounds[i] = lo * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	// Float rounding can flatten neighbours at extreme parameter choices;
+	// nudge them apart so Registry.Histogram's ascending check holds.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			bounds[i] = math.Nextafter(bounds[i-1], math.Inf(1))
+		}
+	}
+	return bounds
+}
+
+// LatencyBounds is the shared bucket layout for nanosecond latency
+// histograms: 100µs to ~17min across 12 buckets per decade, a 1.21x
+// bucket ratio bounding the relative quantile error at ~10%.
+var LatencyBounds = ExpBuckets(1e5, 7, 12)
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution from the bucket counts, interpolating linearly inside the
+// bucket holding the target rank and clamping to the observed [Min, Max].
+// The estimate's error is bounded by the width of that bucket, so
+// log-spaced bounds (ExpBuckets) give a bounded relative error. Returns 0
+// for an empty histogram (never NaN, so snapshots stay JSON-safe).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		lower := h.Min
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		upper := h.Max
+		if i < len(h.Bounds) && h.Bounds[i] < upper {
+			upper = h.Bounds[i]
+		}
+		if lower < h.Min {
+			lower = h.Min
+		}
+		if upper < lower {
+			upper = lower
+		}
+		frac := float64(target-cum) / float64(c)
+		v := lower + frac*(upper-lower)
+		if v < h.Min {
+			v = h.Min
+		}
+		if v > h.Max {
+			v = h.Max
+		}
+		return v
+	}
+	return h.Max
+}
+
+// summaryQuantiles are the quantiles every histogram snapshot carries
+// (JSON fields and Prometheus {quantile="..."} series).
+var summaryQuantiles = [...]struct {
+	q     float64
+	label string
+}{
+	{0.50, "0.5"},
+	{0.95, "0.95"},
+	{0.99, "0.99"},
+}
+
+// fillQuantiles populates the snapshot's P50/P95/P99 convenience fields
+// from the bucket counts.
+func (h *HistogramSnapshot) fillQuantiles() {
+	if h.Count <= 0 {
+		return
+	}
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
+}

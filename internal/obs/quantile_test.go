@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestExpBucketsShape(t *testing.T) {
+	b := ExpBuckets(1e5, 7, 12)
+	if len(b) != 7*12+1 {
+		t.Fatalf("len = %d, want %d", len(b), 7*12+1)
+	}
+	if b[0] != 1e5 {
+		t.Fatalf("first bound = %g, want 1e5", b[0])
+	}
+	if math.Abs(b[len(b)-1]-1e12)/1e12 > 1e-9 {
+		t.Fatalf("last bound = %g, want ~1e12", b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+}
+
+// exactQuantile is the nearest-rank reference the histogram estimate is
+// judged against.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TestQuantileAccuracySeeded draws seeded samples from distributions
+// spanning several decades and checks the bucket-interpolated quantiles
+// against the exact nearest-rank reference. With 12 buckets per decade
+// the bucket ratio is 10^(1/12) ~= 1.21, so every estimate must land
+// within ~21% of the exact value (one bucket width).
+func TestQuantileAccuracySeeded(t *testing.T) {
+	const ratio = 1.215 // one bucket width of slack, log-spaced at 12/decade
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return 1e6 + r.Float64()*999e6 }},
+		{"lognormal", func(r *rand.Rand) float64 { return 1e7 * math.Exp(r.NormFloat64()) }},
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(2) == 0 {
+				return 2e6 + r.Float64()*1e6
+			}
+			return 4e8 + r.Float64()*1e8
+		}},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			reg := NewRegistry()
+			h := reg.Histogram("lat", LatencyBounds)
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := d.gen(r)
+				h.Observe(v)
+				samples = append(samples, v)
+			}
+			sort.Float64s(samples)
+			snap := h.Snapshot()
+			for _, q := range []float64{0.50, 0.90, 0.95, 0.99} {
+				exact := exactQuantile(samples, q)
+				est := snap.Quantile(q)
+				if est < exact/ratio || est > exact*ratio {
+					t.Errorf("q=%.2f: estimate %g vs exact %g (off by %.1f%%, budget %.0f%%)",
+						q, est, exact, 100*math.Abs(est-exact)/exact, 100*(ratio-1))
+				}
+			}
+			if snap.P50 != snap.Quantile(0.50) || snap.P99 != snap.Quantile(0.99) {
+				t.Errorf("snapshot P50/P99 fields disagree with Quantile()")
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+
+	empty := reg.Histogram("empty", LatencyBounds).Snapshot()
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	if empty.P50 != 0 || empty.P95 != 0 || empty.P99 != 0 {
+		t.Errorf("empty histogram snapshot quantile fields: %+v", empty)
+	}
+
+	single := reg.Histogram("single", LatencyBounds)
+	single.Observe(3e6)
+	s := single.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 3e6 {
+			t.Errorf("single-value quantile(%g) = %g, want 3e6", q, got)
+		}
+	}
+
+	// Values exactly on a bucket bound land in that bucket (inclusive
+	// upper bounds); the estimate must stay within the observed range.
+	onBound := reg.Histogram("onbound", []float64{10, 100, 1000})
+	for i := 0; i < 10; i++ {
+		onBound.Observe(100)
+	}
+	ob := onBound.Snapshot()
+	if got := ob.Quantile(0.5); got != 100 {
+		t.Errorf("on-bound quantile = %g, want 100 (min=max clamp)", got)
+	}
+
+	// Overflow-bucket values clamp to the observed Max, not +Inf.
+	over := reg.Histogram("over", []float64{10, 100})
+	over.Observe(5000)
+	over.Observe(7000)
+	ov := over.Snapshot()
+	if got := ov.Quantile(0.99); got > 7000 || got < 5000 {
+		t.Errorf("overflow quantile = %g, want within [5000, 7000]", got)
+	}
+	if got := ov.Quantile(1); got != 7000 {
+		t.Errorf("q=1 = %g, want Max 7000", got)
+	}
+
+	// q<=0 answers Min, q>=1 answers Max.
+	if got := ov.Quantile(0); got != 5000 {
+		t.Errorf("q=0 = %g, want Min 5000", got)
+	}
+}
+
+// TestHistogramQuantileRace hammers Observe from several goroutines while
+// snapshots (with quantile computation) are taken concurrently; run under
+// -race this pins the histogram's concurrency contract for the service
+// latency path.
+func TestHistogramQuantileRace(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", LatencyBounds)
+	var observers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				h.Observe(1e5 + r.Float64()*1e9)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count > 0 && (s.P50 < s.Min || s.P99 > s.Max) {
+					t.Errorf("quantiles outside [min, max]: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	observers.Wait()
+	close(stop)
+	reader.Wait()
+	s := h.Snapshot()
+	if s.Count != 20000 {
+		t.Fatalf("count = %d, want 20000", s.Count)
+	}
+	if s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}

@@ -80,7 +80,10 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot is the frozen state of a histogram.
+// HistogramSnapshot is the frozen state of a histogram. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see Quantile) filled at
+// snapshot time, so every JSON export carries the latency summary
+// without the reader re-deriving it from the buckets.
 type HistogramSnapshot struct {
 	Bounds   []float64 `json:"bounds"` // upper bounds; +Inf bucket implicit
 	Counts   []int64   `json:"counts"` // len(Bounds)+1
@@ -88,13 +91,19 @@ type HistogramSnapshot struct {
 	Sum      float64   `json:"sum"`
 	Min      float64   `json:"min"`
 	Max      float64   `json:"max"`
+	P50      float64   `json:"p50,omitempty"`
+	P95      float64   `json:"p95,omitempty"`
+	P99      float64   `json:"p99,omitempty"`
 	Rejected int64     `json:"rejected,omitempty"` // NaN/±Inf observations dropped
 }
 
+// Snapshot freezes the histogram's current state, including the
+// interpolated quantile summary.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Bounds:   append([]float64(nil), h.bounds...),
 		Counts:   append([]int64(nil), h.counts...),
 		Count:    h.count,
@@ -103,6 +112,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Max:      h.max,
 		Rejected: h.rejected,
 	}
+	h.mu.Unlock()
+	s.fillQuantiles()
+	return s
 }
 
 // Registry is a concurrency-safe collection of named metrics. Metric
@@ -284,6 +296,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
 		fmt.Fprintf(&b, "%s_sum%s %v\n", base, plain, h.Sum)
 		fmt.Fprintf(&b, "%s_count%s %d\n", base, plain, h.Count)
+		// Summary-style quantile series alongside the buckets, so a scrape
+		// answers "what is p99" without PromQL bucket arithmetic. The
+		// exposition is untyped, so mixing _bucket and {quantile=...} under
+		// one base name is legal here.
+		if h.Count > 0 {
+			for _, sq := range summaryQuantiles {
+				fmt.Fprintf(&b, "%s{%squantile=%q} %v\n", base, labels, sq.label, h.Quantile(sq.q))
+			}
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -36,15 +36,33 @@ type traceFile struct {
 // tracePID is the single synthetic process all lanes live under.
 const tracePID = 1
 
+// ServiceWorker is the synthetic worker id of service-layer spans: job
+// lifecycle segments (queue wait, run wall) the daemon emits around a
+// flow, exported as their own "service" thread row so queue wait shows
+// adjacent to the synthesis phases in Perfetto.
+const ServiceWorker int32 = -2
+
+// serviceTID is the trace thread id of the service lane; a high tid so
+// the row sorts after the driver and worker rows without renumbering
+// them.
+const serviceTID = 1000
+
 // laneTID maps a span's worker to a trace thread id: the driver lane
 // (worker -1) is tid 1, worker w is tid w+2 (tid 0 is avoided — some
-// viewers treat it specially).
+// viewers treat it specially), and the service lane gets its own high
+// tid.
 func laneTID(worker int32) int {
+	if worker == ServiceWorker {
+		return serviceTID
+	}
 	return int(worker) + 2
 }
 
 // laneThreadName names a lane's thread row in the trace viewer.
 func laneThreadName(worker int32) string {
+	if worker == ServiceWorker {
+		return "service"
+	}
 	if worker < 0 {
 		return "driver"
 	}
@@ -80,9 +98,13 @@ func BuildTrace(spans []Span, dropped int64) *traceFile {
 	}
 	for i := range spans {
 		s := &spans[i]
+		cat := s.Phase.String()
+		if s.Worker == ServiceWorker {
+			cat = "service"
+		}
 		ev := traceEvent{
 			Name: s.Name,
-			Cat:  s.Phase.String(),
+			Cat:  cat,
 			Ph:   "X",
 			TS:   float64(s.T0) / 1e3, // trace-event ts/dur are microseconds
 			Dur:  float64(s.Dur()) / 1e3,

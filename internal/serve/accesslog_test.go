@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"batchals/internal/obs"
+)
+
+func TestAccessLoggerEntries(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf)
+	reg := obs.NewRegistry()
+	l.CountIn(reg, "serve_access_log_entries_total")
+
+	h := l.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte("hello"))
+	}))
+
+	for _, path := range []string{"/metrics", "/missing", "/events?run=alpha"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+	}
+
+	if got := l.Entries(); got != 3 {
+		t.Fatalf("Entries() = %d, want 3", got)
+	}
+	if got := reg.Counter("serve_access_log_entries_total").Value(); got != 3 {
+		t.Fatalf("mirrored counter = %d, want 3", got)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	var entries []AccessEntry
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e AccessEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(entries))
+	}
+	if entries[0].Method != "GET" || entries[0].Path != "/metrics" || entries[0].Status != 200 {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[0].Bytes != int64(len("hello")) {
+		t.Errorf("entry 0 bytes = %d, want %d", entries[0].Bytes, len("hello"))
+	}
+	if entries[0].DurNS < 0 {
+		t.Errorf("entry 0 duration negative: %d", entries[0].DurNS)
+	}
+	if entries[1].Status != http.StatusNotFound {
+		t.Errorf("entry 1 status = %d, want 404", entries[1].Status)
+	}
+	if entries[2].Run != "alpha" {
+		t.Errorf("entry 2 run = %q, want alpha (from ?run=)", entries[2].Run)
+	}
+}
+
+func TestAccessLoggerRunFromPathValue(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	h := l.Wrap(mux)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/jobs/beta", nil))
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var e AccessEntry
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &e); err != nil {
+		t.Fatalf("bad entry: %v", err)
+	}
+	if e.Run != "beta" {
+		t.Fatalf("run = %q, want beta (from path value)", e.Run)
+	}
+}
+
+// TestAccessLogNilLoggerZeroAlloc pins the disabled middleware's fast
+// path: with a nil logger, Wrap adds zero allocations per request.
+func TestAccessLogNilLoggerZeroAlloc(t *testing.T) {
+	var l *AccessLogger
+	var served int
+	h := l.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	rw := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.ServeHTTP(rw, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-logger middleware allocates %.1f per request, want 0", allocs)
+	}
+	if served == 0 {
+		t.Fatalf("handler never ran")
+	}
+}
+
+func TestAccessLoggerNilSafe(t *testing.T) {
+	var l *AccessLogger
+	l.Log(AccessEntry{})
+	l.CountIn(obs.NewRegistry(), "x")
+	if l.Entries() != 0 || l.Err() != nil || l.Flush() != nil {
+		t.Fatalf("nil logger should no-op everywhere")
+	}
+}
+
+// errWriter rejects every write, exercising the sticky-error path.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("stub write failure") }
+
+func TestAccessLoggerStickyError(t *testing.T) {
+	// A tiny bufio buffer forces the encoded entries through to the
+	// failing writer immediately instead of sitting buffered.
+	l := &AccessLogger{}
+	bw := bufio.NewWriterSize(errWriter{}, 16)
+	l.w = bw
+	l.enc = json.NewEncoder(bw)
+	for i := 0; i < 4; i++ {
+		l.Log(AccessEntry{Method: "GET", Path: strings.Repeat("/x", 20)})
+	}
+	if l.Flush() == nil {
+		t.Fatalf("expected sticky write error")
+	}
+	if l.Err() == nil {
+		t.Fatalf("Err() should report the sticky error")
+	}
+}
+
+func TestAccessLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Log(AccessEntry{Method: "GET", Path: "/metrics"})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := l.Entries(); got != 200 {
+		t.Fatalf("Entries() = %d, want 200", got)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 200 {
+		t.Fatalf("JSONL lines = %d, want 200", lines)
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"batchals/internal/obs/timeline"
+)
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		JobReceived: "received", JobQueued: "queued", JobAdmitted: "admitted",
+		JobRunning: "running", JobDone: "done", JobFailed: "failed",
+		JobShed: "shed", JobCanceled: "canceled",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if JobState(99).String() != "unknown" {
+		t.Errorf("out-of-range state should stringify as unknown")
+	}
+	for _, s := range []JobState{JobDone, JobFailed, JobShed, JobCanceled} {
+		if !s.Terminal() {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []JobState{JobReceived, JobQueued, JobAdmitted, JobRunning} {
+		if s.Terminal() {
+			t.Errorf("%s should not be terminal", s)
+		}
+	}
+}
+
+func TestJobTraceLegalPath(t *testing.T) {
+	tr := NewJobTrace("j")
+	for _, s := range []JobState{JobQueued, JobAdmitted, JobRunning, JobDone} {
+		if !tr.To(s) {
+			t.Fatalf("legal transition to %s rejected", s)
+		}
+	}
+	if tr.State() != JobDone {
+		t.Fatalf("state = %s, want done", tr.State())
+	}
+	// A terminal trace stays terminal.
+	if tr.To(JobRunning) || tr.To(JobFailed) {
+		t.Fatalf("transition out of a terminal state was accepted")
+	}
+	if tr.State() != JobDone {
+		t.Fatalf("state changed after rejected transition")
+	}
+}
+
+func TestJobTraceIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		walk []JobState // applied in order, all must succeed
+		next JobState   // must be rejected
+	}{
+		{nil, JobAdmitted},                              // received can't skip the queue
+		{nil, JobRunning},                               //
+		{nil, JobDone},                                  // can't finish without running
+		{[]JobState{JobQueued}, JobRunning},             // queued must be admitted first
+		{[]JobState{JobQueued}, JobDone},                //
+		{[]JobState{JobQueued, JobAdmitted}, JobDone},   // admitted isn't running
+		{[]JobState{JobQueued, JobAdmitted}, JobQueued}, // no going back
+	}
+	for _, c := range cases {
+		tr := NewJobTrace("j")
+		for _, s := range c.walk {
+			if !tr.To(s) {
+				t.Fatalf("setup transition to %s rejected", s)
+			}
+		}
+		if tr.To(c.next) {
+			t.Errorf("illegal transition %v -> %s was accepted", c.walk, c.next)
+		}
+	}
+}
+
+func TestJobTraceShedAndCancelPaths(t *testing.T) {
+	// received → shed (queue full before the queued stamp) …
+	tr := NewJobTrace("a")
+	if !tr.To(JobShed) {
+		t.Fatalf("received → shed rejected")
+	}
+	// … and queued → shed (tentative-enqueue path).
+	tr = NewJobTrace("b")
+	tr.To(JobQueued)
+	if !tr.To(JobShed) {
+		t.Fatalf("queued → shed rejected")
+	}
+	// queued → canceled (drain) and received → canceled (raced the drain).
+	tr = NewJobTrace("c")
+	tr.To(JobQueued)
+	if !tr.To(JobCanceled) {
+		t.Fatalf("queued → canceled rejected")
+	}
+	tr = NewJobTrace("d")
+	if !tr.To(JobCanceled) {
+		t.Fatalf("received → canceled rejected")
+	}
+}
+
+func TestJobTraceIntervalsAndSnapshot(t *testing.T) {
+	tr := NewJobTrace("j")
+	if _, ok := tr.QueueWait(); ok {
+		t.Fatalf("queue wait defined before admission")
+	}
+	tr.To(JobQueued)
+	time.Sleep(2 * time.Millisecond)
+	tr.To(JobAdmitted)
+	tr.To(JobRunning)
+	time.Sleep(2 * time.Millisecond)
+
+	if _, ok := tr.RunWall(); ok {
+		t.Fatalf("run wall defined before terminal")
+	}
+	if _, ok := tr.E2E(); ok {
+		t.Fatalf("e2e defined before terminal")
+	}
+	if !tr.Fail("boom") {
+		t.Fatalf("running → failed rejected")
+	}
+
+	qw, ok := tr.QueueWait()
+	if !ok || qw <= 0 {
+		t.Fatalf("queue wait = %v, %v", qw, ok)
+	}
+	rw, ok := tr.RunWall()
+	if !ok || rw <= 0 {
+		t.Fatalf("run wall = %v, %v", rw, ok)
+	}
+	e2e, ok := tr.E2E()
+	if !ok || e2e < qw+rw {
+		t.Fatalf("e2e %v should cover queue wait %v + run wall %v", e2e, qw, rw)
+	}
+
+	s := tr.Snapshot()
+	if s.Name != "j" || s.State != "failed" || s.Error != "boom" {
+		t.Fatalf("snapshot header: %+v", s)
+	}
+	if len(s.Transitions) != 5 { // received, queued, admitted, running, failed
+		t.Fatalf("transitions = %d, want 5", len(s.Transitions))
+	}
+	if s.Transitions[0].State != "received" || s.Transitions[0].AtNS != 0 {
+		t.Fatalf("first transition %+v, want received at 0", s.Transitions[0])
+	}
+	for i := 1; i < len(s.Transitions); i++ {
+		if s.Transitions[i].AtNS < s.Transitions[i-1].AtNS {
+			t.Fatalf("transition stamps not monotone: %+v", s.Transitions)
+		}
+	}
+	if s.QueueWaitNS != qw.Nanoseconds() || s.RunNS != rw.Nanoseconds() || s.E2ENS != e2e.Nanoseconds() {
+		t.Fatalf("snapshot durations %+v disagree with accessors", s)
+	}
+}
+
+func TestJobTraceConcurrentSnapshot(t *testing.T) {
+	tr := NewJobTrace("j")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, s := range []JobState{JobQueued, JobAdmitted, JobRunning, JobDone} {
+			tr.To(s)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = tr.Snapshot()
+		_ = tr.State()
+	}
+	wg.Wait()
+	if tr.State() != JobDone {
+		t.Fatalf("state = %s, want done", tr.State())
+	}
+}
+
+func TestEmitServiceSpans(t *testing.T) {
+	rec := timeline.NewRecorder(2, 64)
+	tr := NewJobTrace("j")
+	tr.To(JobQueued)
+	tr.To(JobAdmitted)
+	tr.To(JobRunning)
+	time.Sleep(time.Millisecond)
+	tr.To(JobDone)
+	tr.EmitService(rec)
+
+	spans := rec.Snapshot()
+	// One span per lifecycle segment: received, queued, admitted, running.
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	wantNames := map[string]bool{
+		"service.received": false, "service.queued": false,
+		"service.admitted": false, "service.running": false,
+	}
+	var parent int64
+	for _, s := range spans {
+		if s.Worker != timeline.ServiceWorker {
+			t.Errorf("span %s on worker %d, want ServiceWorker", s.Name, s.Worker)
+		}
+		if s.T1 < s.T0 || s.T0 < 0 {
+			t.Errorf("span %s has bad interval [%d, %d]", s.Name, s.T0, s.T1)
+		}
+		if _, ok := wantNames[s.Name]; !ok {
+			t.Errorf("unexpected span %q", s.Name)
+		}
+		wantNames[s.Name] = true
+		if s.Name == "service.received" {
+			parent = s.ID
+		}
+	}
+	for name, seen := range wantNames {
+		if !seen {
+			t.Errorf("missing span %q", name)
+		}
+	}
+	for _, s := range spans {
+		if s.Name != "service.received" && s.Parent != parent {
+			t.Errorf("span %s parent = %d, want %d", s.Name, s.Parent, parent)
+		}
+	}
+
+	// The Perfetto export names the lane "service" and tags the spans.
+	var buf strings.Builder
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"service"`, "service.running", "service.queued"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace export missing %q", want)
+		}
+	}
+
+	// Nil recorder is a no-op, not a panic.
+	tr.EmitService(nil)
+}

@@ -27,6 +27,8 @@ const (
 	RunActive
 	RunDone
 	RunFailed
+	RunCanceled // queued job canceled by daemon shutdown
+	RunShed     // rejected by the bounded queue, never ran
 )
 
 // String returns the wire name of the state.
@@ -40,8 +42,21 @@ func (s RunState) String() string {
 		return "done"
 	case RunFailed:
 		return "failed"
+	case RunCanceled:
+		return "canceled"
+	case RunShed:
+		return "shed"
 	}
 	return "unknown"
+}
+
+// Terminal reports whether the run has finished (successfully or not).
+func (s RunState) Terminal() bool {
+	switch s {
+	case RunDone, RunFailed, RunCanceled, RunShed:
+		return true
+	}
+	return false
 }
 
 // Run bundles the observability sinks of one named flow run: its own
@@ -60,7 +75,16 @@ type Run struct {
 	started time.Time
 	err     atomic.Pointer[string]
 	tl      atomic.Pointer[timeline.Recorder]
+	trace   atomic.Pointer[JobTrace]
 }
+
+// SetJobTrace attaches the job-lifecycle trace the daemon keeps for this
+// run, exported at /jobs/{name}.
+func (r *Run) SetJobTrace(t *JobTrace) { r.trace.Store(t) }
+
+// JobTrace returns the attached lifecycle trace, or nil for runs that
+// were not submitted through the job queue.
+func (r *Run) JobTrace() *JobTrace { return r.trace.Load() }
 
 // SetTimeline publishes the run's span recorder so /timeline can export
 // it while the flow is live (the recorder's snapshot is safe to read
@@ -154,6 +178,58 @@ func (rr *RunRegistry) Get(name string) *Run {
 		rr.order = append(rr.order, name)
 	}
 	return r
+}
+
+// Trim evicts the oldest terminal runs until at most max remain,
+// returning how many were dropped. Active and pending runs are never
+// evicted, so under sustained load the registry holds every live job plus
+// the freshest max-ish finished ones — this is what bounds alsd's memory
+// when a load test pushes thousands of jobs through. max <= 0 trims
+// nothing.
+func (rr *RunRegistry) Trim(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	dropped := 0
+	for len(rr.order) > max {
+		evicted := false
+		for i, name := range rr.order {
+			r := rr.runs[name]
+			if !r.State().Terminal() {
+				continue
+			}
+			delete(rr.runs, name)
+			rr.order = append(rr.order[:i], rr.order[i+1:]...)
+			dropped++
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	return dropped
+}
+
+// Evict removes the named run if it exists and is terminal, reporting
+// whether it was removed. Live runs are never evicted.
+func (rr *RunRegistry) Evict(name string) bool {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	r, ok := rr.runs[name]
+	if !ok || !r.State().Terminal() {
+		return false
+	}
+	delete(rr.runs, name)
+	for i, n := range rr.order {
+		if n == name {
+			rr.order = append(rr.order[:i], rr.order[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // Lookup returns the run named name without creating it.

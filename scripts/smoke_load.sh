@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Load-test smoke for the alsd service observatory: boot the daemon on an
+# ephemeral port with a deliberately tiny queue and JSONL access logging,
+# drive it with a closed-loop alsload burst, then assert the whole
+# observability story — non-zero shed counter, latency histograms with
+# quantile summaries on /metrics, parseable access logs, per-job lifecycle
+# traces at /jobs/{name}, a service lane in the timeline export, a
+# benchdiff-gatable artifact — and a clean SIGTERM drain. CI runs this
+# after the unit suites; locally: ./scripts/smoke_load.sh
+set -euo pipefail
+
+DURATION="${DURATION:-30s}"      # burst length (alsload -duration)
+SUBMITTERS="${SUBMITTERS:-6}"    # closed-loop submitters (alsload -n)
+QUEUE_MAX="${QUEUE_MAX:-2}"      # small bound so the burst must shed
+CIRCUIT="${CIRCUIT:-mul4}"
+PATTERNS="${PATTERNS:-512}"
+ARTIFACT="${ARTIFACT:-/tmp/load_now.json}"
+LOG="$(mktemp)"
+ACCESS_LOG="$(mktemp)"
+trap 'kill "$ALSD_PID" 2>/dev/null || true; wait "$ALSD_PID" 2>/dev/null || true; rm -f "$LOG" "$ACCESS_LOG"' EXIT
+
+go build -o /tmp/alsd ./cmd/alsd
+go build -o /tmp/alsload ./cmd/alsload
+/tmp/alsd -addr 127.0.0.1:0 -queue-max "$QUEUE_MAX" -access-log "$ACCESS_LOG" >"$LOG" 2>&1 &
+ALSD_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^alsd: listening on //p' "$LOG" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$ALSD_PID" 2>/dev/null || { echo "alsd exited early:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "alsd never reported its address:"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "smoke_load: alsd at $BASE (queue-max $QUEUE_MAX)"
+
+/tmp/alsload -addr "$ADDR" -n "$SUBMITTERS" -duration "$DURATION" \
+    -circuit "$CIRCUIT" -m "$PATTERNS" -o "$ARTIFACT"
+
+# The artifact must parse and carry the latency + throughput benchmarks;
+# benchdiff gates it against the committed baseline (timing deltas are
+# advisory across differing hardware, but a benchmark that disappears
+# fails unconditionally).
+for NAME in Load/e2e Load/queue_wait Load/run_wall Load/throughput; do
+    grep -q "\"$NAME\"" "$ARTIFACT" \
+        || { echo "artifact is missing benchmark $NAME:"; cat "$ARTIFACT"; exit 1; }
+done
+go run ./cmd/benchdiff BENCH_pr9.json "$ARTIFACT"
+
+# The burst ran $SUBMITTERS closed loops against a queue of $QUEUE_MAX, so
+# the daemon must have shed, and every latency histogram must have samples
+# and quantile summary lines on the Prometheus surface. (Scrapes land in
+# files: `echo big | grep -q` dies of SIGPIPE under pipefail.)
+METRICS="$(mktemp)"
+curl -fsS "$BASE/metrics" >"$METRICS"
+SHED="$(sed -n 's/^serve_jobs_shed_total //p' "$METRICS")"
+[ -n "$SHED" ] && [ "$SHED" -gt 0 ] \
+    || { echo "expected non-zero serve_jobs_shed_total, got '$SHED'"; exit 1; }
+for WANT in \
+    'serve_job_e2e_ns_count' \
+    'serve_job_queue_wait_ns_bucket' \
+    'serve_job_run_ns_sum' \
+    'serve_job_e2e_ns{quantile="0.99"}' \
+    'serve_job_queue_wait_ns{quantile="0.5"}' \
+    'serve_queue_depth' \
+    'serve_jobs_inflight' \
+    'serve_access_log_entries_total'; do
+    grep -qF "$WANT" "$METRICS" \
+        || { echo "/metrics missing $WANT"; grep '^serve_' "$METRICS" | head -30; exit 1; }
+done
+rm -f "$METRICS"
+echo "smoke_load: shed $SHED submissions, histograms + quantiles present"
+
+# One traced job end to end: its /jobs/{name} lifecycle document must walk
+# received→queued→admitted→running→done, and the timeline export must show
+# the service lane next to the flow lanes.
+curl -fsS -X POST "$BASE/jobs" \
+    -d "{\"name\":\"tl\",\"circuit\":\"$CIRCUIT\",\"threshold\":0.05,\"m\":$PATTERNS,\"workers\":2,\"timeline\":true}" >/dev/null
+for _ in $(seq 1 300); do
+    STATE="$(curl -fsS "$BASE/jobs/tl" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1)"
+    [ "$STATE" = done ] && break
+    sleep 0.2
+done
+[ "$STATE" = done ] || { echo "traced job never finished (state '$STATE')"; cat "$LOG"; exit 1; }
+TRACEDOC="$(mktemp)"
+curl -fsS "$BASE/jobs/tl" >"$TRACEDOC"
+for WANT in '"queued"' '"admitted"' '"running"' '"queue_wait_ns"' '"e2e_ns"'; do
+    grep -qF "$WANT" "$TRACEDOC" \
+        || { echo "/jobs/tl missing $WANT:"; cat "$TRACEDOC"; exit 1; }
+done
+TIMELINE="$(mktemp)"
+curl -fsS "$BASE/timeline?run=tl" >"$TIMELINE"
+for WANT in '"service"' 'service.queued' 'service.running' 'phase:'; do
+    grep -qF "$WANT" "$TIMELINE" \
+        || { echo "/timeline?run=tl missing $WANT"; exit 1; }
+done
+rm -f "$TRACEDOC" "$TIMELINE"
+echo "smoke_load: lifecycle trace + service timeline lane verified"
+
+# Clean drain: SIGTERM finishes the running job, cancels queued ones and
+# flushes the access log, which must be non-empty parseable JSONL covering
+# the job API.
+kill -TERM "$ALSD_PID"
+wait "$ALSD_PID" 2>/dev/null || true
+grep -q '^alsd: shutting down' "$LOG" || { echo "no clean shutdown message:"; cat "$LOG"; exit 1; }
+LINES="$(wc -l <"$ACCESS_LOG")"
+[ "$LINES" -gt 0 ] || { echo "access log is empty"; exit 1; }
+head -1 "$ACCESS_LOG" | grep -q '"method":' || { echo "access log is not JSONL:"; head -3 "$ACCESS_LOG"; exit 1; }
+grep -q '"path":"/jobs"' "$ACCESS_LOG" || { echo "access log never saw POST /jobs"; exit 1; }
+echo "smoke_load: $LINES access-log lines flushed"
+echo "smoke_load: OK"
