@@ -149,6 +149,12 @@ type Options struct {
 	// bit-identical; IncrementalOff is an escape hatch and the reference
 	// side of the differential tests.
 	Incremental IncrementalMode
+	// Partition, when non-nil, routes the run through the partitioned
+	// flow: the netlist is cut along fanout-free-region boundaries, each
+	// part is approximated independently under a slice of the error
+	// budget, and the merged result is re-measured globally. ErrorRate
+	// only; use Flow.PartitionReport for the per-part breakdown.
+	Partition *PartitionOptions
 }
 
 // IncrementalMode switches the incremental iteration engine (re-exported
@@ -202,7 +208,9 @@ type Result = sasimi.Result
 
 // Approximate runs the SASIMI flow with the configured estimator on a copy
 // of golden and returns the approximate circuit whose measured error stays
-// within opts.Threshold.
+// within opts.Threshold. It is a thin wrapper over NewFlow(...).Run; use
+// the Flow API directly when you need the partition report or builder-
+// style observability attachment.
 func Approximate(golden *Network, opts Options) (*Result, error) {
 	return ApproximateContext(context.Background(), golden, opts)
 }
@@ -212,24 +220,7 @@ func Approximate(golden *Network, opts Options) (*Result, error) {
 // and returns ctx.Err() alongside the consistent partial result (accepted
 // substitutions up to the cancellation point).
 func ApproximateContext(ctx context.Context, golden *Network, opts Options) (*Result, error) {
-	return sasimi.RunContext(ctx, golden, sasimi.Config{
-		Budget: flow.Budget{
-			Metric:        opts.Metric,
-			Threshold:     opts.Threshold,
-			NumPatterns:   opts.NumPatterns,
-			Seed:          opts.Seed,
-			MaxIterations: opts.MaxIterations,
-		},
-		Estimator:       opts.Estimator,
-		Workers:         opts.Workers,
-		KeepTrace:       opts.KeepTrace,
-		VerifyTopK:      opts.VerifyTopK,
-		Tracer:          opts.Tracer,
-		Metrics:         opts.Metrics,
-		Timeline:        opts.Timeline,
-		CheckInvariants: opts.CheckInvariants,
-		Incremental:     opts.Incremental,
-	})
+	return NewFlow(golden, opts).Run(ctx)
 }
 
 // Benchmark builds one of the registered benchmark circuits by name

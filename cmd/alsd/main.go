@@ -133,6 +133,14 @@ func runJob(ctx context.Context, spec serve.JobSpec, run *serve.Run) error {
 		Tracer:        run.Tracer(),
 		Timeline:      run.Timeline(),
 	}
+	if p := spec.Partition; p != nil {
+		opts.Partition = &batchals.PartitionOptions{
+			TargetCells:  p.Cells,
+			MaxCut:       p.MaxCut,
+			BudgetPolicy: strings.ToLower(p.Policy),
+			MaxRounds:    p.Rounds,
+		}
+	}
 	switch strings.ToLower(spec.Metric) {
 	case "", "er":
 		opts.Metric = batchals.ErrorRate

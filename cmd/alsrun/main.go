@@ -57,6 +57,10 @@ func main() {
 		seed         = flag.Int64("seed", 0, "random seed")
 		workers      = flag.Int("workers", 0, "worker pool size for the sasimi flow (0 = all CPUs, 1 = sequential; results are bit-identical at any count)")
 		incremental  = flag.Bool("incremental", true, "carry simulation/CPM state across sasimi iterations (cone resimulation + dirty-region CPM refresh); false rebuilds from scratch each iteration — results are bit-identical either way")
+		partCells    = flag.Int("partition-cells", 0, "run the partitioned sasimi flow with this target part size in gates (0 = monolithic; ER metric only)")
+		partMaxCut   = flag.Int("partition-maxcut", 0, "cut width below which a part boundary is accepted immediately (0 = default 64)")
+		partPolicy   = flag.String("partition-policy", "", "error-budget split across parts: observability (default) or uniform")
+		partRounds   = flag.Int("partition-rounds", 0, "budget allocate/run/reclaim rounds (0 = default 2)")
 		outFile      = flag.String("out", "", "write the approximate circuit to this .bench/.blif file")
 		iters        = flag.Bool("iters", false, "print every accepted substitution")
 		checkInv     = flag.Bool("check-invariants", false, "validate structural invariants after every accepted substitution")
@@ -99,6 +103,14 @@ func main() {
 		opts.Incremental = batchals.IncrementalOn
 	} else {
 		opts.Incremental = batchals.IncrementalOff
+	}
+	if *partCells > 0 {
+		opts.Partition = &batchals.PartitionOptions{
+			TargetCells:  *partCells,
+			MaxCut:       *partMaxCut,
+			BudgetPolicy: *partPolicy,
+			MaxRounds:    *partRounds,
+		}
 	}
 	switch strings.ToLower(*metricFlag) {
 	case "er":
@@ -308,9 +320,22 @@ func main() {
 }
 
 func runSASIMI(golden *batchals.Network, opts batchals.Options, iters bool, outFile string) *batchals.Result {
-	res, err := batchals.Approximate(golden, opts)
+	fl := batchals.NewFlow(golden, opts)
+	res, err := fl.Run(context.Background())
 	if err != nil {
 		fatal(err)
+	}
+	if rep := fl.PartitionReport(); rep != nil {
+		fmt.Printf("partition: %d parts (target %d cells, max cut %d, policy %s), %d rounds, %d reverted, merged error %.5f\n",
+			rep.NumParts, rep.TargetCells, rep.MaxCut, rep.Policy, rep.Rounds, rep.Reverted, rep.MergedError)
+		for _, p := range rep.Parts {
+			mark := ""
+			if p.Reverted {
+				mark = "  REVERTED"
+			}
+			fmt.Printf("  part %3d: %5d cells, cut %3d, %3d outs, budget %.5f, local err %.5f, area %.0f -> %.0f, %d subs%s\n",
+				p.Index, p.Cells, p.CutIns, p.Outputs, p.Budget, p.LocalError, p.AreaBefore, p.AreaAfter, p.Iterations, mark)
+		}
 	}
 	if iters {
 		for _, it := range res.Iterations {

@@ -28,7 +28,10 @@
 // env at all — downgrades the allocation gate too, because worker pools
 // default to NumCPU (allocation counts follow the worker count) and
 // compilers move allocations between versions. Missing benchmarks gate
-// unconditionally. -warn-only reports everything but always exits 0.
+// unconditionally, except names listed in -allow-missing (baseline
+// entries recorded from full runs CI does not repeat, like the
+// 15-CPU-minute monolithic 50k-gate flow). -warn-only reports everything
+// but always exits 0.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"batchals/internal/benchmeta"
 )
@@ -50,6 +54,7 @@ type diffConfig struct {
 	threshold      float64 // allowed fractional ns/op growth before padding
 	allocThreshold float64 // allowed fractional allocs/op growth (no pad)
 	warnOnly       bool
+	allowMissing   map[string]bool // names exempt from the missing-benchmark gate
 }
 
 // noisePad widens the timing threshold for low-iteration baselines: the
@@ -75,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&cfg.threshold, "threshold", 0.30, "allowed fractional ns/op growth before the noise pad")
 	fs.Float64Var(&cfg.allocThreshold, "alloc-threshold", 0.10, "allowed fractional allocs/op growth (no noise pad)")
 	fs.BoolVar(&cfg.warnOnly, "warn-only", false, "report regressions but exit 0")
+	allowMissing := fs.String("allow-missing", "", "comma-separated benchmark names exempt from the missing-benchmark gate (baseline entries recorded from full runs that CI does not repeat)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
 		fs.PrintDefaults()
@@ -85,6 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
+	}
+	if *allowMissing != "" {
+		cfg.allowMissing = map[string]bool{}
+		for _, name := range strings.Split(*allowMissing, ",") {
+			cfg.allowMissing[strings.TrimSpace(name)] = true
+		}
 	}
 
 	oldBase, err := benchmeta.Load(fs.Arg(0))
@@ -184,6 +196,11 @@ func diff(oldBase, newBase *benchmeta.Baseline, cfg diffConfig, cmp envComparabi
 		ob := oldBy[name]
 		nb, ok := byName[name]
 		if !ok {
+			if cfg.allowMissing[name] {
+				fmt.Fprintf(stdout, "%-44s %14s %14s %8s %8s %8s\n",
+					name, fmtNum(ob.Metrics["ns/op"]), "-", "-", "-", "exempt")
+				continue
+			}
 			fmt.Fprintf(stdout, "%-44s %14s %14s %8s %8s %8s\n",
 				name, fmtNum(ob.Metrics["ns/op"]), "-", "-", "-", "MISSING")
 			regressions = append(regressions,

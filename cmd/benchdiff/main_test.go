@@ -153,6 +153,19 @@ func TestMissingBenchmarkIsRegression(t *testing.T) {
 	if !strings.Contains(stdout, "MISSING") || !strings.Contains(stderr, "BenchmarkGone") {
 		t.Errorf("missing-benchmark report wrong:\nstdout %s\nstderr %s", stdout, stderr)
 	}
+
+	// -allow-missing exempts exactly the listed name, nothing else.
+	code, stdout, _ = runDiff(t, "-allow-missing", "BenchmarkGone", old, niu)
+	if code != 0 {
+		t.Fatalf("-allow-missing did not exempt, exit %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "exempt") {
+		t.Errorf("exempt row missing:\n%s", stdout)
+	}
+	code, _, _ = runDiff(t, "-allow-missing", "BenchmarkOther", old, niu)
+	if code != 1 {
+		t.Fatalf("-allow-missing with a non-matching name still exempted, exit %d", code)
+	}
 }
 
 func TestEnvMismatchDowngradesTiming(t *testing.T) {

@@ -26,12 +26,16 @@ var registry = map[string]func() *circuit.Network{
 	"mac8":  func() *circuit.Network { return MAC(8) },
 	"dec4":  func() *circuit.Network { return Decoder(4) },
 	"absd8": func() *circuit.Network { return AbsDiff(8) },
-	"c880":  mustISCAS("c880"),
-	"c1908": mustISCAS("c1908"),
-	"c2670": mustISCAS("c2670"),
-	"c3540": mustISCAS("c3540"),
-	"c5315": mustISCAS("c5315"),
-	"c7552": mustISCAS("c7552"),
+	// synth10k is the smallest Tiled circuit, sized so whole-registry
+	// sweeps (alslint -all, analyzer tests) stay fast; the partition
+	// benchmarks build larger Tiled circuits directly.
+	"synth10k": func() *circuit.Network { return Tiled("synth10k", 64, 64, 10000, 10) },
+	"c880":     mustISCAS("c880"),
+	"c1908":    mustISCAS("c1908"),
+	"c2670":    mustISCAS("c2670"),
+	"c3540":    mustISCAS("c3540"),
+	"c5315":    mustISCAS("c5315"),
+	"c7552":    mustISCAS("c7552"),
 }
 
 func mustISCAS(name string) func() *circuit.Network {

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"batchals/internal/circuit"
+)
+
+// Tiled generates a large synthetic circuit by composing arithmetic tiles
+// — ripple adders, array multipliers, comparators, parity trees — wired
+// together with recency-biased cross-tile edges, until the network holds
+// at least targetGates gates. Unlike Synthetic's random gate soup, the
+// tiles give the circuit real arithmetic structure (carry chains,
+// reconvergent partial-product fanout) at 10k-1M gate scale, which is the
+// regime the partitioned flow targets: the FFR partitioner finds narrow
+// boundaries between tiles that a uniform random graph does not have.
+//
+// Tile inputs are drawn 70% from a recent window of produced signals
+// (locality: tiles chain into deep datapaths) and 30% from anywhere
+// (long, reconvergence-inducing edges across the datapath). All tile
+// outputs that end up fanout-free are folded into numOut collector trees
+// so no generated logic is dead.
+func Tiled(name string, numIn, numOut, targetGates int, seed int64) *circuit.Network {
+	if numIn < 8 || numOut < 1 || targetGates < 64 {
+		panic(fmt.Sprintf("bench: Tiled needs >=8 inputs, >=1 output, >=64 gates; got %d/%d/%d",
+			numIn, numOut, targetGates))
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := circuit.New(name)
+	pool := make([]circuit.NodeID, 0, numIn+targetGates/2)
+	for i := 0; i < numIn; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	pick := func() circuit.NodeID {
+		if len(pool) > 64 && r.Intn(10) < 7 {
+			return pool[len(pool)-1-r.Intn(64)]
+		}
+		return pool[r.Intn(len(pool))]
+	}
+	pickVec := func(width int) []circuit.NodeID {
+		v := make([]circuit.NodeID, width)
+		for i := range v {
+			v[i] = pick()
+		}
+		return v
+	}
+
+	// Tile builders consume picked signal vectors and return the signals
+	// they produce. Gate counts per tile: adder ~5w, multiplier ~6w^2,
+	// comparator ~4w, parity w-1.
+	adderTile := func() []circuit.NodeID {
+		w := 4 + r.Intn(13) // 4..16 bit
+		a, b := pickVec(w), pickVec(w)
+		carry := pick()
+		out := make([]circuit.NodeID, 0, w+1)
+		for i := 0; i < w; i++ {
+			var s circuit.NodeID
+			s, carry = fullAdder(n, a[i], b[i], carry)
+			out = append(out, s)
+		}
+		return append(out, carry)
+	}
+	mulTile := func() []circuit.NodeID {
+		w := 2 + r.Intn(3) // 2..4 bit array multiplier
+		a, b := pickVec(w), pickVec(w)
+		// Partial products, then ripple rows of half/full adders.
+		acc := make([]circuit.NodeID, w) // row 0
+		for i := range acc {
+			acc[i] = n.AddGate(circuit.KindAnd, a[i], b[0])
+		}
+		out := make([]circuit.NodeID, 0, 2*w)
+		out = append(out, acc[0])
+		for j := 1; j < w; j++ {
+			pp := make([]circuit.NodeID, w)
+			for i := range pp {
+				pp[i] = n.AddGate(circuit.KindAnd, a[i], b[j])
+			}
+			next := make([]circuit.NodeID, w)
+			var carry circuit.NodeID
+			for i := 0; i < w-1; i++ {
+				if i == 0 && j == 1 {
+					next[i], carry = halfAdder(n, acc[i+1], pp[i])
+				} else {
+					next[i], carry = fullAdder(n, acc[i+1], pp[i], carry)
+				}
+			}
+			next[w-1], _ = halfAdder(n, pp[w-1], carry)
+			acc = next
+			out = append(out, acc[0])
+		}
+		return append(out, acc[1:]...)
+	}
+	cmpTile := func() []circuit.NodeID {
+		w := 4 + r.Intn(9) // 4..12 bit
+		a, b := pickVec(w), pickVec(w)
+		eq := n.AddGate(circuit.KindXnor, a[0], b[0])
+		lt := n.AddGate(circuit.KindAnd, n.AddGate(circuit.KindNot, a[0]), b[0])
+		for i := 1; i < w; i++ {
+			bitEq := n.AddGate(circuit.KindXnor, a[i], b[i])
+			bitLt := n.AddGate(circuit.KindAnd, n.AddGate(circuit.KindNot, a[i]), b[i])
+			lt = n.AddGate(circuit.KindOr, bitLt, n.AddGate(circuit.KindAnd, bitEq, lt))
+			eq = n.AddGate(circuit.KindAnd, eq, bitEq)
+		}
+		return []circuit.NodeID{eq, lt}
+	}
+	parityTile := func() []circuit.NodeID {
+		w := 8 + r.Intn(9) // 8..16 inputs
+		level := pickVec(w)
+		for len(level) > 1 {
+			var next []circuit.NodeID
+			for i := 0; i+1 < len(level); i += 2 {
+				next = append(next, n.AddGate(circuit.KindXor, level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		return level
+	}
+	tiles := []func() []circuit.NodeID{
+		adderTile, adderTile, adderTile, // adders dominate: long carry chains
+		mulTile, mulTile, // dense reconvergent fanout
+		cmpTile, parityTile,
+	}
+
+	for n.NumGates() < targetGates {
+		pool = append(pool, tiles[r.Intn(len(tiles))]()...)
+	}
+	// Sweep-proof unused inputs, as Synthetic does.
+	for _, in := range n.Inputs() {
+		if len(n.Fanouts(in)) == 0 {
+			pool = append(pool, n.AddGate(circuit.KindAnd, in, pick()))
+		}
+	}
+	// Fold fanout-free tile outputs into numOut collector trees.
+	var roots []circuit.NodeID
+	for _, id := range pool {
+		if n.Kind(id).IsGate() && len(n.Fanouts(id)) == 0 {
+			roots = append(roots, id)
+		}
+	}
+	buckets := make([][]circuit.NodeID, numOut)
+	for i, root := range roots {
+		buckets[i%numOut] = append(buckets[i%numOut], root)
+	}
+	combine := []circuit.Kind{circuit.KindAnd, circuit.KindOr, circuit.KindXor, circuit.KindNand, circuit.KindNor}
+	for o := 0; o < numOut; o++ {
+		level := buckets[o]
+		if len(level) == 0 {
+			level = []circuit.NodeID{pool[len(pool)-1-r.Intn(len(pool)/2)]}
+		}
+		for len(level) > 1 {
+			var next []circuit.NodeID
+			for i := 0; i+1 < len(level); i += 2 {
+				next = append(next, n.AddGate(combine[r.Intn(len(combine))], level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		n.AddOutput(fmt.Sprintf("o%d", o), level[0])
+	}
+	n.Sweep()
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: tiled %s invalid: %v", name, err))
+	}
+	return n
+}

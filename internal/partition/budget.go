@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"math/bits"
+
+	"batchals/internal/circuit"
+)
+
+// hungryFrac is the utilisation above which a part is considered budget-
+// hungry during reclamation: it spent at least this fraction of its
+// allocation, so more budget would likely buy more area.
+const hungryFrac = 0.8
+
+// Allocator splits one global error budget across parts and rebalances it
+// between rounds. The invariant it maintains — checked by the property
+// test — is that the per-part allocations never sum to more than the
+// global budget: the initial split distributes exactly the total, and
+// Reclaim only moves budget (freed by parts that under-spent theirs) to
+// hungry parts, never minting new budget.
+type Allocator struct {
+	total  float64
+	weight []float64
+	alloc  []float64
+}
+
+// NewAllocator splits total across len(weights) parts proportionally to
+// the weights. Non-positive weights are treated as the smallest positive
+// one so every part keeps a non-zero share.
+func NewAllocator(total float64, weights []float64) *Allocator {
+	a := &Allocator{
+		total:  total,
+		weight: make([]float64, len(weights)),
+		alloc:  make([]float64, len(weights)),
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			w = 1e-9
+		}
+		a.weight[i] = w
+		sum += w
+	}
+	for i := range a.alloc {
+		a.alloc[i] = total * a.weight[i] / sum
+	}
+	return a
+}
+
+// Alloc returns part k's current allocation.
+func (a *Allocator) Alloc(k int) float64 { return a.alloc[k] }
+
+// Allocations returns a copy of the per-part allocations.
+func (a *Allocator) Allocations() []float64 {
+	return append([]float64(nil), a.alloc...)
+}
+
+// Sum returns the total currently allocated; always <= the global budget.
+func (a *Allocator) Sum() float64 {
+	s := 0.0
+	for _, v := range a.alloc {
+		s += v
+	}
+	return s
+}
+
+// Total returns the global budget the allocator was built with.
+func (a *Allocator) Total() float64 { return a.total }
+
+// Reclaim rebalances after a round: measured[k] is part k's realised
+// local error. Parts that used less than hungryFrac of their allocation
+// shrink to what they measured; the freed budget is pooled and granted to
+// hungry parts (utilisation >= hungryFrac) in proportion to their
+// weights. It returns the indices whose allocation grew (the parts worth
+// re-running), or nil when nothing moved. Allocation mass is conserved,
+// so the sum-<=-total invariant survives any number of rounds.
+func (a *Allocator) Reclaim(measured []float64) []int {
+	if len(measured) != len(a.alloc) {
+		panic("partition: Reclaim measured length mismatch")
+	}
+	var hungry []int
+	wsum := 0.0
+	for k, m := range measured {
+		if a.alloc[k] > 0 && m >= hungryFrac*a.alloc[k] {
+			hungry = append(hungry, k)
+			wsum += a.weight[k]
+		}
+	}
+	if len(hungry) == 0 || len(hungry) == len(a.alloc) || wsum <= 0 {
+		return nil // nobody to feed, or nothing to free
+	}
+	freed := 0.0
+	for k, m := range measured {
+		if a.alloc[k] > 0 && m >= hungryFrac*a.alloc[k] {
+			continue
+		}
+		if m < 0 {
+			m = 0
+		}
+		if m < a.alloc[k] {
+			freed += a.alloc[k] - m
+			a.alloc[k] = m
+		}
+	}
+	if freed <= 0 {
+		return nil
+	}
+	grown := make([]int, 0, len(hungry))
+	for _, k := range hungry {
+		add := freed * a.weight[k] / wsum
+		if add > 0 {
+			a.alloc[k] += add
+			grown = append(grown, k)
+		}
+	}
+	return grown
+}
+
+// obsSampleCap bounds the primary-output sample the observability DP
+// tracks per node: 4 words of reachability bits keep the reverse pass
+// cache-friendly on million-gate networks while still separating parts
+// that feed many outputs from parts feeding few.
+const obsSampleCap = 256
+
+// ObservabilityWeights weighs every part by how many primary outputs its
+// exported signals reach (plus one, so no part's budget share collapses
+// to zero). Reachability is a reverse-topological bitset DP over at most
+// obsSampleCap outputs, sampled evenly when the network has more.
+func ObservabilityWeights(net *circuit.Network, plan *Plan) []float64 {
+	outs := net.Outputs()
+	sample := len(outs)
+	stride := 1
+	if sample > obsSampleCap {
+		stride = (sample + obsSampleCap - 1) / obsSampleCap
+		sample = (sample + stride - 1) / stride
+	}
+	words := (sample + 63) / 64
+	reach := make([]uint64, net.NumSlots()*words)
+	for j := 0; j < sample; j++ {
+		drv := outs[j*stride].Node
+		reach[int(drv)*words+j/64] |= 1 << uint(j%64)
+	}
+	order := net.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		row := reach[int(id)*words : int(id)*words+words]
+		for _, fo := range net.Fanouts(id) {
+			frow := reach[int(fo)*words : int(fo)*words+words]
+			for w := range row {
+				row[w] |= frow[w]
+			}
+		}
+	}
+	weights := make([]float64, plan.NumParts())
+	scratch := make([]uint64, words)
+	for k := range plan.Parts {
+		for w := range scratch {
+			scratch[w] = 0
+		}
+		for _, id := range plan.Parts[k].Outputs {
+			row := reach[int(id)*words : int(id)*words+words]
+			for w := range scratch {
+				scratch[w] |= row[w]
+			}
+		}
+		pop := 0
+		for _, w := range scratch {
+			pop += bits.OnesCount64(w)
+		}
+		weights[k] = float64(pop) + 1
+	}
+	return weights
+}
+
+// UniformWeights gives every part the same budget share.
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// WeightsFor computes the part weights for the configured policy.
+func WeightsFor(policy string, net *circuit.Network, plan *Plan) []float64 {
+	if policy == PolicyUniform {
+		return UniformWeights(plan.NumParts())
+	}
+	return ObservabilityWeights(net, plan)
+}

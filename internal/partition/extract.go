@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+	"batchals/internal/sim"
+)
+
+// Extracted is one materialised part: a standalone network over the
+// part's boundary inputs, plus the recorded pattern set that drives those
+// inputs with the exact values they carried in the parent golden run.
+// Running a flow on (Net, Patterns) therefore optimises the part under
+// the input distribution it actually sees in context, not a uniform one.
+type Extracted struct {
+	Part *Part
+	// Net is the part golden: boundary inputs in Part.Inputs order,
+	// gates cloned in parent topo order (names preserved), outputs bound
+	// in Part.Outputs order.
+	Net *circuit.Network
+	// Patterns carries the recorded parent value vector of every boundary
+	// input, row i matching Net's input i.
+	Patterns *sim.Patterns
+}
+
+// Extract materialises every part of the plan. vals must be the parent
+// golden simulation of the pattern set the partitioned run uses; the
+// boundary rows are copied out of it, so later parts see the original
+// (pre-approximation) values of their cut inputs — the partitioned
+// flow's one deliberate approximation, re-checked globally after merge.
+func (p *Plan) Extract(vals *sim.Values) ([]Extracted, error) {
+	out := make([]Extracted, len(p.Parts))
+	for k := range p.Parts {
+		ex, err := p.extractOne(&p.Parts[k], vals)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = ex
+	}
+	return out, nil
+}
+
+func (p *Plan) extractOne(part *Part, vals *sim.Values) (Extracted, error) {
+	parent := p.Net
+	sub := circuit.New(fmt.Sprintf("%s.p%d", parent.Name, part.Index))
+	local := make(map[circuit.NodeID]circuit.NodeID, len(part.Members)+len(part.Inputs))
+
+	pats := sim.NewPatterns(len(part.Inputs), vals.M)
+	for i, id := range part.Inputs {
+		local[id] = sub.AddInput(parent.NameOf(id))
+		pats.InputRow(i).CopyFrom(vals.Node(id))
+	}
+	// Constants are replicated on demand, at most one per polarity.
+	consts := [2]circuit.NodeID{circuit.InvalidNode, circuit.InvalidNode}
+	mapFanin := func(f circuit.NodeID) (circuit.NodeID, bool) {
+		switch parent.Kind(f) {
+		case circuit.KindConst0:
+			if consts[0] == circuit.InvalidNode {
+				consts[0] = sub.AddConst(false)
+			}
+			return consts[0], true
+		case circuit.KindConst1:
+			if consts[1] == circuit.InvalidNode {
+				consts[1] = sub.AddConst(true)
+			}
+			return consts[1], true
+		}
+		m, ok := local[f]
+		return m, ok
+	}
+
+	for _, g := range part.Members {
+		fanins := parent.Fanins(g)
+		mapped := make([]circuit.NodeID, len(fanins))
+		for i, f := range fanins {
+			m, ok := mapFanin(f)
+			if !ok {
+				return Extracted{}, fmt.Errorf("partition: part %d gate %s consumes unmapped signal %s",
+					part.Index, parent.NameOf(g), parent.NameOf(f))
+			}
+			mapped[i] = m
+		}
+		id := sub.AddGate(parent.Kind(g), mapped...)
+		if name := parent.Node(g).Name; name != "" {
+			sub.SetName(id, name)
+		}
+		local[g] = id
+	}
+	for _, o := range part.Outputs {
+		sub.AddOutput(parent.NameOf(o), local[o])
+	}
+	if err := sub.Validate(); err != nil {
+		return Extracted{}, fmt.Errorf("partition: extracted part %d invalid: %w", part.Index, err)
+	}
+	return Extracted{Part: part, Net: sub, Patterns: pats}, nil
+}

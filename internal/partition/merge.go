@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"fmt"
+
+	"batchals/internal/circuit"
+)
+
+// Merge stitches per-part networks back into one network over the parent
+// inputs. nets[k] must be part k's extracted network or a flow result
+// derived from it (same input order and output bindings); passing the
+// extracted golden for some parts and approximated nets for others is how
+// the repair loop selectively reverts over-budget parts. The merged
+// network is swept, so logic a part's approximation made dead — including
+// cut signals no later part still consumes — is removed before area is
+// re-measured.
+func (p *Plan) Merge(nets []*circuit.Network) (*circuit.Network, error) {
+	if len(nets) != len(p.Parts) {
+		return nil, fmt.Errorf("partition: Merge got %d nets for %d parts", len(nets), len(p.Parts))
+	}
+	parent := p.Net
+	merged := circuit.New(parent.Name)
+
+	// signalOf maps parent signal ids (inputs and part-exported gates) to
+	// merged ids as parts are instantiated in topological part order.
+	signalOf := make([]circuit.NodeID, parent.NumSlots())
+	for i := range signalOf {
+		signalOf[i] = circuit.InvalidNode
+	}
+	for _, in := range parent.Inputs() {
+		signalOf[in] = merged.AddInput(parent.NameOf(in))
+	}
+	consts := [2]circuit.NodeID{circuit.InvalidNode, circuit.InvalidNode}
+	constSignal := func(v bool) circuit.NodeID {
+		i := 0
+		if v {
+			i = 1
+		}
+		if consts[i] == circuit.InvalidNode {
+			consts[i] = merged.AddConst(v)
+		}
+		return consts[i]
+	}
+
+	for k := range p.Parts {
+		part := &p.Parts[k]
+		an := nets[k]
+		if got, want := an.NumInputs(), len(part.Inputs); got != want {
+			return nil, fmt.Errorf("partition: part %d net has %d inputs, plan has %d", k, got, want)
+		}
+		if got, want := an.NumOutputs(), len(part.Outputs); got != want {
+			return nil, fmt.Errorf("partition: part %d net has %d outputs, plan has %d", k, got, want)
+		}
+		inputIdx := make(map[circuit.NodeID]int, an.NumInputs())
+		for i, id := range an.Inputs() {
+			inputIdx[id] = i
+		}
+		local := make([]circuit.NodeID, an.NumSlots())
+		for i := range local {
+			local[i] = circuit.InvalidNode
+		}
+		for _, id := range an.TopoOrder() {
+			switch kind := an.Kind(id); kind {
+			case circuit.KindInput:
+				src := part.Inputs[inputIdx[id]]
+				if signalOf[src] == circuit.InvalidNode {
+					return nil, fmt.Errorf("partition: part %d input %s unresolved at merge", k, parent.NameOf(src))
+				}
+				local[id] = signalOf[src]
+			case circuit.KindConst0:
+				local[id] = constSignal(false)
+			case circuit.KindConst1:
+				local[id] = constSignal(true)
+			default:
+				fanins := an.Fanins(id)
+				mapped := make([]circuit.NodeID, len(fanins))
+				for i, f := range fanins {
+					if local[f] == circuit.InvalidNode {
+						return nil, fmt.Errorf("partition: part %d gate %s has unmapped fanin", k, an.NameOf(id))
+					}
+					mapped[i] = local[f]
+				}
+				g := merged.AddGate(kind, mapped...)
+				if name := an.Node(id).Name; name != "" {
+					merged.SetName(g, name)
+				}
+				local[id] = g
+			}
+		}
+		for j, o := range an.Outputs() {
+			if local[o.Node] == circuit.InvalidNode {
+				return nil, fmt.Errorf("partition: part %d output %s unresolved", k, o.Name)
+			}
+			signalOf[part.Outputs[j]] = local[o.Node]
+		}
+	}
+
+	for _, o := range parent.Outputs() {
+		var sig circuit.NodeID
+		switch parent.Kind(o.Node) {
+		case circuit.KindConst0:
+			sig = constSignal(false)
+		case circuit.KindConst1:
+			sig = constSignal(true)
+		default:
+			sig = signalOf[o.Node]
+		}
+		if sig == circuit.InvalidNode {
+			return nil, fmt.Errorf("partition: primary output %s unresolved at merge", o.Name)
+		}
+		merged.AddOutput(o.Name, sig)
+	}
+	merged.Sweep()
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: merged network invalid: %w", err)
+	}
+	return merged, nil
+}

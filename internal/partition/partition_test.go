@@ -1,0 +1,242 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batchals/internal/bench"
+	"batchals/internal/circuit"
+	"batchals/internal/emetric"
+	"batchals/internal/sim"
+)
+
+func buildBench(t *testing.T, name string) *circuit.Network {
+	t.Helper()
+	net, err := bench.ByName(name)
+	if err != nil {
+		t.Fatalf("bench %s: %v", name, err)
+	}
+	return net
+}
+
+// TestBuildPlanCoverage checks every live gate lands in exactly one part,
+// parts stay convex, and the boundary sets are consistent with partOf.
+func TestBuildPlanCoverage(t *testing.T) {
+	for _, name := range []string{"rca8", "mul8", "c880", "c2670"} {
+		t.Run(name, func(t *testing.T) {
+			net := buildBench(t, name)
+			plan, err := BuildPlan(net, Options{TargetCells: 12, MaxCut: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.NumParts() < 2 {
+				t.Fatalf("want multiple parts for TargetCells=12, got %d", plan.NumParts())
+			}
+			seen := make(map[circuit.NodeID]int)
+			total := 0
+			for k := range plan.Parts {
+				part := &plan.Parts[k]
+				if part.Index != k {
+					t.Fatalf("part %d has Index %d", k, part.Index)
+				}
+				for _, g := range part.Members {
+					if !net.Kind(g).IsGate() {
+						t.Fatalf("part %d member %s is not a gate", k, net.NameOf(g))
+					}
+					if prev, dup := seen[g]; dup {
+						t.Fatalf("gate %s in parts %d and %d", net.NameOf(g), prev, k)
+					}
+					seen[g] = k
+					if plan.PartOf(g) != k {
+						t.Fatalf("PartOf(%s) = %d, want %d", net.NameOf(g), plan.PartOf(g), k)
+					}
+					total++
+				}
+				for _, in := range part.Inputs {
+					if src := plan.PartOf(in); src >= k {
+						t.Fatalf("part %d input %s from part %d violates convexity", k, net.NameOf(in), src)
+					}
+				}
+			}
+			if total != net.NumGates() {
+				t.Fatalf("parts cover %d gates, network has %d", total, net.NumGates())
+			}
+		})
+	}
+}
+
+// TestBuildPlanDeterministic: same network, same options, same plan.
+func TestBuildPlanDeterministic(t *testing.T) {
+	opt := Options{TargetCells: 60, MaxCut: 24}
+	a, err := BuildPlan(buildBench(t, "c880"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(buildBench(t, "c880"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumParts() != b.NumParts() {
+		t.Fatalf("plan sizes differ: %d vs %d", a.NumParts(), b.NumParts())
+	}
+	for k := range a.Parts {
+		pa, pb := &a.Parts[k], &b.Parts[k]
+		if len(pa.Members) != len(pb.Members) || pa.CutIns != pb.CutIns {
+			t.Fatalf("part %d differs across runs", k)
+		}
+		for i := range pa.Members {
+			if pa.Members[i] != pb.Members[i] {
+				t.Fatalf("part %d member %d differs", k, i)
+			}
+		}
+	}
+}
+
+// TestExtractMergeIdentity: extracting all parts golden and merging them
+// back yields a network that simulates bit-identically to the parent.
+func TestExtractMergeIdentity(t *testing.T) {
+	for _, name := range []string{"rca8", "dec4", "cmp8", "c880"} {
+		t.Run(name, func(t *testing.T) {
+			net := buildBench(t, name)
+			plan, err := BuildPlan(net, Options{TargetCells: 30, MaxCut: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pats := sim.RandomPatterns(net.NumInputs(), 512, 7)
+			vals := sim.Simulate(net, pats)
+			parts, err := plan.Extract(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each extracted part, driven by its recorded patterns, must
+			// reproduce the parent's values at its outputs.
+			for k := range parts {
+				pv := sim.Simulate(parts[k].Net, parts[k].Patterns)
+				for j, o := range parts[k].Net.Outputs() {
+					parentID := parts[k].Part.Outputs[j]
+					if !pv.Node(o.Node).Equal(vals.Node(parentID)) {
+						t.Fatalf("part %d output %s diverges from parent", k, o.Name)
+					}
+				}
+			}
+			nets := make([]*circuit.Network, len(parts))
+			for k := range parts {
+				nets[k] = parts[k].Net
+			}
+			merged, err := plan.Merge(nets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := emetric.Measure(net, merged, pats)
+			if res.ErrorRate != 0 {
+				t.Fatalf("golden merge has error rate %g, want 0", res.ErrorRate)
+			}
+		})
+	}
+}
+
+// TestAllocatorInvariant is the property test from the issue: across
+// random reclamation rounds the per-part allocations stay non-negative
+// and never sum past the global budget.
+func TestAllocatorInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(16)
+		total := rng.Float64() * 0.2
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 10
+			if rng.Intn(5) == 0 {
+				weights[i] = 0 // exercise the non-positive-weight guard
+			}
+		}
+		a := NewAllocator(total, weights)
+		if s := a.Sum(); s > total*(1+1e-9)+1e-15 {
+			t.Fatalf("trial %d: initial sum %g exceeds total %g", trial, s, total)
+		}
+		for round := 0; round < 5; round++ {
+			measured := make([]float64, n)
+			for k := range measured {
+				// Anywhere from zero to slightly over the allocation.
+				measured[k] = a.Alloc(k) * rng.Float64() * 1.2
+			}
+			a.Reclaim(measured)
+			s := 0.0
+			for k := 0; k < n; k++ {
+				if a.Alloc(k) < 0 {
+					t.Fatalf("trial %d round %d: negative allocation %g", trial, round, a.Alloc(k))
+				}
+				s += a.Alloc(k)
+			}
+			if s > total*(1+1e-9)+1e-15 {
+				t.Fatalf("trial %d round %d: sum %g exceeds total %g", trial, round, s, total)
+			}
+		}
+	}
+}
+
+// TestReclaimMovesBudget pins the mechanics: a converged part's slack
+// flows to the hungry part and the grown indices are reported.
+func TestReclaimMovesBudget(t *testing.T) {
+	a := NewAllocator(0.10, []float64{1, 1})
+	before := a.Allocations()
+	// Part 0 barely used its budget, part 1 exhausted its share.
+	grown := a.Reclaim([]float64{0.001, before[1]})
+	if len(grown) != 1 || grown[0] != 1 {
+		t.Fatalf("grown = %v, want [1]", grown)
+	}
+	if a.Alloc(0) != 0.001 {
+		t.Fatalf("part 0 should shrink to measured 0.001, got %g", a.Alloc(0))
+	}
+	want := before[1] + (before[0] - 0.001)
+	if math.Abs(a.Alloc(1)-want) > 1e-12 {
+		t.Fatalf("part 1 alloc %g, want %g", a.Alloc(1), want)
+	}
+}
+
+// TestWeightsFor sanity-checks both policies.
+func TestWeightsFor(t *testing.T) {
+	net := buildBench(t, "c880")
+	plan, err := BuildPlan(net, Options{TargetCells: 60, MaxCut: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := WeightsFor(PolicyUniform, net, plan)
+	for _, w := range uni {
+		if w != 1 {
+			t.Fatalf("uniform weight %g, want 1", w)
+		}
+	}
+	obs := WeightsFor(PolicyObservability, net, plan)
+	if len(obs) != plan.NumParts() {
+		t.Fatalf("got %d weights for %d parts", len(obs), plan.NumParts())
+	}
+	for k, w := range obs {
+		if w < 1 {
+			t.Fatalf("part %d observability weight %g < 1", k, w)
+		}
+	}
+	// The last part drives primary outputs, so it must see at least as
+	// many reachable outputs as any interior part feeding only it.
+	if obs[len(obs)-1] <= 1 {
+		t.Fatalf("final part weight %g should exceed 1", obs[len(obs)-1])
+	}
+}
+
+// TestOptionsValidate covers the policy gate.
+func TestOptionsValidate(t *testing.T) {
+	o := Options{BudgetPolicy: "greedy"}
+	o.FillDefaults()
+	if err := o.Validate(); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+	o = Options{}
+	o.FillDefaults()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+	if o.TargetCells != 2000 || o.MaxCut != 64 || o.BudgetPolicy != PolicyObservability || o.MaxRounds != 2 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}

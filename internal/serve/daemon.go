@@ -35,6 +35,18 @@ type JobSpec struct {
 	// flow's synthesis phases. Off by default: a recorder costs memory per
 	// job, which a load test multiplies by thousands.
 	Timeline bool `json:"timeline,omitempty"`
+	// Partition, when non-nil, routes the job through the partitioned
+	// flow (ER metric only).
+	Partition *PartitionSpec `json:"partition,omitempty"`
+}
+
+// PartitionSpec is the wire form of the partitioned-flow knobs; zero
+// fields select the library defaults.
+type PartitionSpec struct {
+	Cells  int    `json:"cells"`             // target gates per part (required, positive)
+	MaxCut int    `json:"max_cut,omitempty"` // advisory cut-width bound
+	Policy string `json:"policy,omitempty"`  // "observability" (default) or "uniform"
+	Rounds int    `json:"rounds,omitempty"`  // budget reclaim rounds
 }
 
 // SpecError is the typed 4xx error body of a rejected job submission:
@@ -67,8 +79,9 @@ var (
 // knownMetrics and knownEstimators are the spec vocabulary the wire
 // protocol accepts; the empty string selects the default.
 var (
-	knownMetrics    = map[string]bool{"": true, "er": true, "aem": true}
-	knownEstimators = map[string]bool{"": true, "batch": true, "full": true, "local": true}
+	knownMetrics           = map[string]bool{"": true, "er": true, "aem": true}
+	knownEstimators        = map[string]bool{"": true, "batch": true, "full": true, "local": true}
+	knownPartitionPolicies = map[string]bool{"": true, "observability": true, "uniform": true}
 )
 
 // CheckCircuitExists is the default circuit validator: benchmark names
@@ -109,6 +122,23 @@ func (d *Daemon) ValidateSpec(spec JobSpec) *SpecError {
 	}
 	if spec.Workers < 0 {
 		return &SpecError{Field: "workers", Value: strconv.Itoa(spec.Workers), Msg: "must be non-negative"}
+	}
+	if p := spec.Partition; p != nil {
+		if strings.ToLower(spec.Metric) == "aem" {
+			return &SpecError{Field: "partition", Value: "aem", Msg: "partitioned runs support the er metric only"}
+		}
+		if p.Cells <= 0 {
+			return &SpecError{Field: "partition.cells", Value: strconv.Itoa(p.Cells), Msg: "must be positive"}
+		}
+		if p.MaxCut < 0 {
+			return &SpecError{Field: "partition.max_cut", Value: strconv.Itoa(p.MaxCut), Msg: "must be non-negative"}
+		}
+		if p.Rounds < 0 {
+			return &SpecError{Field: "partition.rounds", Value: strconv.Itoa(p.Rounds), Msg: "must be non-negative"}
+		}
+		if pol := strings.ToLower(p.Policy); !knownPartitionPolicies[pol] {
+			return &SpecError{Field: "partition.policy", Value: p.Policy, Msg: `unknown policy (want "observability" or "uniform")`}
+		}
 	}
 	return nil
 }

@@ -166,6 +166,12 @@ func TestDaemonSpecValidation(t *testing.T) {
 		{map[string]any{"circuit": "c", "threshold": -1}, "threshold"},
 		{map[string]any{"circuit": "c", "threshold": 0.05, "m": -5}, "m"},
 		{map[string]any{"circuit": "c", "threshold": 0.05, "workers": -1}, "workers"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "partition": map[string]any{}}, "partition.cells"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "partition": map[string]any{"cells": -3}}, "partition.cells"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "partition": map[string]any{"cells": 100, "max_cut": -1}}, "partition.max_cut"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "partition": map[string]any{"cells": 100, "rounds": -2}}, "partition.rounds"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "partition": map[string]any{"cells": 100, "policy": "greedy"}}, "partition.policy"},
+		{map[string]any{"circuit": "c", "threshold": 0.05, "metric": "aem", "partition": map[string]any{"cells": 100}}, "partition"},
 	}
 	for _, c := range cases {
 		rw := postJob(t, h, c.spec)

@@ -1,0 +1,95 @@
+package batchals
+
+// BenchmarkPartitionedFlow measures the partition-and-conquer flow against
+// the monolithic SASIMI flow on large Tiled synthetics, under an identical
+// ER budget (0.02, M=256, MaxIterations=2). The monolithic flow's
+// candidate gather is quadratic in circuit size (every target walks its
+// transitive fanout cone and screens every substitute), so the partitioned
+// flow wins by a widening margin as circuits grow — the algorithmic point
+// of the partitioner, independent of part-level parallelism.
+//
+// The synth50k-monolithic sub-benchmark takes ~15 CPU-minutes and only
+// runs with PARTITION_BENCH_FULL=1 in the environment; its number is
+// recorded in BENCH_pr10.json from a full run. CI re-runs everything else
+// and exempts exactly that name via benchdiff -allow-missing.
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"batchals/internal/bench"
+)
+
+// partitionBenchCircuits memoises the Tiled synthetics: generation is
+// cheap (~100ms at 50k gates) but sharing one instance keeps sub-benchmark
+// workloads byte-identical.
+var partitionBenchCircuits struct {
+	once     sync.Once
+	s10, s50 *Network
+}
+
+func partitionBenchCircuit(b *testing.B, gates int) *Network {
+	b.Helper()
+	partitionBenchCircuits.once.Do(func() {
+		partitionBenchCircuits.s10 = bench.Tiled("synth10k", 64, 64, 10000, 10)
+		partitionBenchCircuits.s50 = bench.Tiled("synth50k", 64, 64, 50000, 50)
+	})
+	if gates == 10000 {
+		return partitionBenchCircuits.s10
+	}
+	return partitionBenchCircuits.s50
+}
+
+func partitionBenchOpts(part bool) Options {
+	opts := Options{
+		Metric:        ErrorRate,
+		Threshold:     0.02,
+		NumPatterns:   256,
+		Seed:          1,
+		MaxIterations: 2,
+	}
+	if part {
+		opts.Partition = &PartitionOptions{TargetCells: 2000}
+	}
+	return opts
+}
+
+func runPartitionBench(b *testing.B, golden *Network, part bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fl := NewFlow(golden, partitionBenchOpts(part))
+		res, err := fl.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FinalError > 0.02+1e-9 {
+			b.Fatalf("error %g over budget", res.FinalError)
+		}
+		if i == 0 {
+			b.ReportMetric(res.OriginalArea-res.FinalArea, "area_saved")
+			if rep := fl.PartitionReport(); rep != nil {
+				b.ReportMetric(float64(rep.NumParts), "parts")
+			}
+		}
+	}
+}
+
+func BenchmarkPartitionedFlow(b *testing.B) {
+	b.Run("synth10k-monolithic", func(b *testing.B) {
+		runPartitionBench(b, partitionBenchCircuit(b, 10000), false)
+	})
+	b.Run("synth10k-partitioned", func(b *testing.B) {
+		runPartitionBench(b, partitionBenchCircuit(b, 10000), true)
+	})
+	b.Run("synth50k-monolithic", func(b *testing.B) {
+		if os.Getenv("PARTITION_BENCH_FULL") == "" {
+			b.Skip("takes ~15 CPU-minutes; set PARTITION_BENCH_FULL=1 (recorded in BENCH_pr10.json)")
+		}
+		runPartitionBench(b, partitionBenchCircuit(b, 50000), false)
+	})
+	b.Run("synth50k-partitioned", func(b *testing.B) {
+		runPartitionBench(b, partitionBenchCircuit(b, 50000), true)
+	})
+}

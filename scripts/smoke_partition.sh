@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test for the partition-and-conquer flow: run alsrun with
+# -partition-cells on c880, check the partition summary reports multiple
+# parts and a merged error within the budget, and validate the exported
+# timeline shows the per-part flows on distinct worker lanes (the
+# partition-level parallelism the PR claims, visible, not inferred).
+# CI runs this after the unit suites; it is also a quick local check:
+# ./scripts/smoke_partition.sh
+set -euo pipefail
+
+TRACE="${TRACE:-/tmp/smoke_partition.json}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+go build -o /tmp/alsrun ./cmd/alsrun
+/tmp/alsrun -circuit c880 -threshold 0.02 -m 2048 -workers 4 \
+    -partition-cells 100 -partition-maxcut 16 \
+    -timeline "$TRACE" | tee "$LOG"
+
+grep -q "wrote $TRACE" "$LOG" || { echo "alsrun never wrote the trace"; exit 1; }
+grep -Eq "partition: [0-9]+ parts" "$LOG" || { echo "missing partition summary"; exit 1; }
+
+# The summary must report >1 part and a merged error within the budget.
+python3 - "$LOG" <<'EOF'
+import re, sys
+
+log = open(sys.argv[1]).read()
+m = re.search(r"partition: (\d+) parts .* merged error ([0-9.]+)", log)
+assert m, "partition summary line not found"
+parts, err = int(m.group(1)), float(m.group(2))
+assert parts > 1, f"expected multiple parts, got {parts}"
+assert err <= 0.02 + 1e-9, f"merged error {err} over the 0.02 budget"
+per_part = re.findall(r"^  part +\d+:", log, re.M)
+assert len(per_part) == parts, f"{len(per_part)} part rows for {parts} parts"
+print(f"smoke_partition: {parts} parts, merged error {err}")
+EOF
+
+# Validate the timeline: partition.flow spans (the per-part engines) must
+# appear on at least two distinct worker lanes, and the driver lane must
+# carry the plan/extract/merge/measure phases.
+python3 - "$TRACE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+threads, flow_lanes, driver_spans = {}, set(), set()
+for ev in doc["traceEvents"]:
+    if ev["ph"] == "M":
+        threads[ev["tid"]] = ev["args"]["name"]
+for ev in doc["traceEvents"]:
+    if ev["ph"] != "X":
+        continue
+    if ev["name"] == "partition.flow" and threads.get(ev["tid"], "").startswith("worker"):
+        flow_lanes.add(ev["tid"])
+    if ev["name"] in ("partition.plan", "partition.extract", "partition.merge", "partition.measure"):
+        driver_spans.add(ev["name"])
+
+assert len(flow_lanes) >= 2, f"partition.flow on {len(flow_lanes)} lanes, want >=2"
+missing = {"partition.plan", "partition.extract", "partition.merge", "partition.measure"} - driver_spans
+assert not missing, f"driver spans missing: {missing}"
+print(f"smoke_partition: per-part flows on {len(flow_lanes)} worker lanes")
+EOF
+
+echo "smoke_partition: OK"
